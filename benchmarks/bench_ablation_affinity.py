@@ -1,0 +1,18 @@
+"""Ablation A4: locality-aware (owner) vs round-robin task placement."""
+
+from repro.bench.ablations import run_ablation_affinity
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_ablation_affinity_placement(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_affinity, args=(scale(),), rounds=1, iterations=1
+    )
+    print("\n" + render(result, x_label="mode", fmt="{:.3g}"))
+    runtime = result.get("runtime")
+    remote = result.get("remote-accumulates")
+    # owner placement (x=0) must do far fewer remote accumulates and be
+    # at least as fast as the locality-oblivious placement (x=1)
+    assert remote.y_at(0) < 0.6 * remote.y_at(1)
+    assert runtime.y_at(0) <= runtime.y_at(1)

@@ -1,0 +1,16 @@
+"""Ablation A3: steal chunk size vs UTS throughput (§5.1)."""
+
+from repro.bench.ablations import run_ablation_chunk
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_ablation_chunk_size(benchmark):
+    result = benchmark.pedantic(run_ablation_chunk, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, x_label="chunk", fmt="{:.3g}"))
+    thpt = result.series[0]
+    steals = result.get("steals")
+    # chunked steals amortize the transfer: chunk 10 (the paper default)
+    # beats chunk 1, and needs far fewer steal operations
+    assert thpt.y_at(10) > thpt.y_at(1)
+    assert steals.y_at(10) < 0.7 * steals.y_at(1)

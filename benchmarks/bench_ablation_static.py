@@ -1,0 +1,16 @@
+"""Ablation A5: dynamic load balancing on vs off on the heterogeneous cluster."""
+
+from repro.bench.ablations import run_ablation_static
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_ablation_static_placement(benchmark):
+    result = benchmark.pedantic(run_ablation_static, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, fmt="{:.2f}"))
+    dyn = result.get("load-balancing-on")
+    stat = result.get("load-balancing-off")
+    big = max(dyn.xs)
+    # with heterogeneous CPUs and an unbalanced tree, static placement
+    # leaves throughput on the table at scale
+    assert dyn.y_at(big) > 1.2 * stat.y_at(big)

@@ -1,0 +1,19 @@
+"""Ablation A2: dirty-mark messages saved by the votes-before rule (§5.3)."""
+
+from repro.bench.ablations import run_ablation_termination
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_ablation_termination_opt(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_termination, args=(scale(),), rounds=1, iterations=1
+    )
+    print("\n" + render(result, fmt="{:.3g}"))
+    opt = result.get("dirty-msgs-optimized")
+    base = result.get("dirty-msgs-baseline")
+    saved = result.get("fraction-elided")
+    for p in opt.xs:
+        assert opt.y_at(p) <= base.y_at(p), p
+    # the optimization must elide a substantial share of dirty marks
+    assert max(saved.ys) > 0.3

@@ -1,0 +1,18 @@
+"""Ablation A6: locked vs wait-free steal protocol (§8 future work)."""
+
+from repro.bench.ablations import run_ablation_waitfree
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_ablation_waitfree_steals(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_waitfree, args=(scale(),), rounds=1, iterations=1
+    )
+    print("\n" + render(result, fmt="{:.2f}"))
+    locked = result.get("locked-steals")
+    waitfree = result.get("wait-free-steals")
+    big = max(locked.xs)
+    # removing the mutex must not cost throughput, and typically gains a
+    # little once steal traffic is non-trivial
+    assert waitfree.y_at(big) > 0.95 * locked.y_at(big)

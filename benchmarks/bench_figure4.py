@@ -1,0 +1,23 @@
+"""Figure 4: termination detection vs ARMCI/MPI barrier timings."""
+
+from repro.bench.figure4 import run_figure4
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(run_figure4, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, fmt="{:.1f}"))
+    td = result.get("scioto-termination")
+    armci = result.get("armci-barrier")
+    mpi = result.get("mpi-barrier")
+    big = max(td.xs)
+    # ordering: termination > ARMCI barrier > MPI barrier, same order of
+    # magnitude (paper: ~2x; we allow up to 8x), all growing ~log(p)
+    for p in td.xs:
+        if p == 1:
+            continue
+        assert mpi.y_at(p) < armci.y_at(p) < td.y_at(p)
+        assert td.y_at(p) < 8 * armci.y_at(p), (p, td.y_at(p), armci.y_at(p))
+    assert td.y_at(big) > td.y_at(2)
+    assert td.y_at(big) < td.y_at(2) * big  # sublinear growth in p

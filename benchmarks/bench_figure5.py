@@ -1,0 +1,29 @@
+"""Figure 5: SCF & TCE parallel speedup, Scioto vs Original."""
+
+from repro.bench.figure56 import run_figure56
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_figure5_speedup(benchmark):
+    result = benchmark.pedantic(run_figure56, args=(scale(),), rounds=1, iterations=1)
+    speedups = [s for s in result.series if s.label.endswith("speedup")]
+    view = type(result)(experiment="figure5 (speedup)", series=speedups,
+                        notes=result.notes)
+    print("\n" + render(view, fmt="{:.2f}"))
+    scf = result.get("SCF-speedup")
+    scf_o = result.get("SCF-Original-speedup")
+    tce = result.get("TCE-speedup")
+    tce_o = result.get("TCE-Original-speedup")
+    big = max(scf.xs)
+    # all configurations speed up
+    for s in (scf, scf_o, tce, tce_o):
+        assert s.y_at(big) > s.y_at(min(s.xs))
+    # TCE: Scioto clearly ahead of the counter scheme (paper: ~3x at 64)
+    assert tce.y_at(big) > 1.25 * tce_o.y_at(big)
+    # SCF: comparable at small scale (within 20%)...
+    small = min(scf.xs)
+    assert scf.y_at(small) > 0.8 * scf_o.y_at(small)
+    # ...and at the paper's 64 procs the Original flattens behind Scioto
+    if big >= 64:
+        assert scf.y_at(big) > scf_o.y_at(big)

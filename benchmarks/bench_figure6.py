@@ -1,0 +1,21 @@
+"""Figure 6: SCF & TCE raw runtimes, Scioto vs Original."""
+
+from repro.bench.figure56 import run_figure56
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_figure6_runtime(benchmark):
+    result = benchmark.pedantic(run_figure56, args=(scale(),), rounds=1, iterations=1)
+    runtimes = [s for s in result.series if s.label.endswith("runtime")]
+    view = type(result)(experiment="figure6 (runtime)", series=runtimes,
+                        notes=result.notes)
+    print("\n" + render(view, fmt="{:.4g}"))
+    for s in runtimes:
+        xs = sorted(s.xs)
+        # runtimes fall monotonically-ish with process count (paper's
+        # log-log falling lines); allow a 10% wobble between steps
+        for a, b in zip(xs, xs[1:]):
+            assert s.y_at(b) < 1.1 * s.y_at(a), (s.label, a, b)
+    big = max(runtimes[0].xs)
+    assert result.get("TCE-runtime").y_at(big) < result.get("TCE-Original-runtime").y_at(big)

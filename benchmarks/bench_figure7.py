@@ -1,0 +1,23 @@
+"""Figure 7: UTS on the heterogeneous cluster — split vs MPI vs no-split."""
+
+from repro.bench.figure7 import run_figure7
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_figure7_uts_cluster(benchmark):
+    result = benchmark.pedantic(run_figure7, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, fmt="{:.2f}"))
+    split = result.get("Split-Queues")
+    mpi = result.get("MPI-WS")
+    nosplit = result.get("No-Split")
+    for p in split.xs:
+        # paper ordering at every scale: split > MPI > no-split
+        assert split.y_at(p) > mpi.y_at(p), p
+        assert mpi.y_at(p) > nosplit.y_at(p), p
+    big = max(split.xs)
+    # split queues vs locked queues: roughly a 2x gap at scale (Fig. 7)
+    assert split.y_at(big) > 1.5 * nosplit.y_at(big)
+    # throughput grows with processors for both real contenders
+    assert split.y_at(big) > 2.0 * split.y_at(min(split.xs))
+    assert mpi.y_at(big) > 2.0 * mpi.y_at(min(mpi.xs))

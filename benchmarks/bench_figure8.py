@@ -1,0 +1,17 @@
+"""Figure 8: UTS on the Cray XT4 — Scioto vs MPI up to 512 procs."""
+
+from repro.bench.figure8 import run_figure8
+from repro.bench.harness import scale
+from repro.bench.report import render
+
+
+def test_figure8_uts_xt4(benchmark):
+    result = benchmark.pedantic(run_figure8, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, fmt="{:.2f}"))
+    scioto = result.get("UTS-Scioto")
+    mpi = result.get("UTS-MPI")
+    for p in scioto.xs:
+        # comparable performance with Scioto ahead (paper §6.3)
+        assert scioto.y_at(p) > 0.95 * mpi.y_at(p), p
+    big, small = max(scioto.xs), min(scioto.xs)
+    assert scioto.y_at(big) > 1.5 * scioto.y_at(small)

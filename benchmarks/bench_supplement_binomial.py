@@ -1,0 +1,45 @@
+"""Supplementary: binomial UTS — the worst-case load-balancing stressor.
+
+The paper evaluates UTS on geometric trees (Figures 7-8); the UTS
+benchmark's binomial trees are the harder case — near-critical branching
+gives subtree sizes with enormous variance and depth in the hundreds, so
+almost all parallelism must be discovered by stealing long chains.  This
+benchmark confirms Scioto's advantage persists (and typically grows)
+under that stress.
+"""
+
+from repro.apps.uts import run_uts_mpi, run_uts_scioto
+from repro.apps.uts.presets import EXPECTED_NODES, preset
+from repro.bench.harness import scale
+from repro.util.records import Series, SweepResult
+from repro.bench.report import render
+from repro.sim.machines import heterogeneous_cluster
+
+
+def run_binomial(scale_name: str) -> SweepResult:
+    params = preset("binomial")
+    procs = [4, 8, 16] if scale_name == "quick" else [8, 16, 32, 64]
+    result = SweepResult(experiment="supplement-binomial-uts")
+    scioto = Series(label="Scioto", unit="Mnodes/s")
+    mpi = Series(label="MPI-WS", unit="Mnodes/s")
+    for p in procs:
+        mach = heterogeneous_cluster(p)
+        s = run_uts_scioto(p, params, machine=mach, seed=1)
+        m = run_uts_mpi(p, params, machine=mach, seed=1)
+        assert s.stats.nodes == m.stats.nodes == EXPECTED_NODES["binomial"]
+        scioto.add(p, s.throughput / 1e6)
+        mpi.add(p, m.throughput / 1e6)
+    result.series = [scioto, mpi]
+    result.notes.append("binomial tree: 86k nodes, depth 155, leaf fraction > 0.6")
+    return result
+
+
+def test_supplement_binomial(benchmark):
+    result = benchmark.pedantic(run_binomial, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, fmt="{:.2f}"))
+    scioto = result.get("Scioto")
+    mpi = result.get("MPI-WS")
+    for p in scioto.xs:
+        assert scioto.y_at(p) > mpi.y_at(p), p
+    big, small = max(scioto.xs), min(scioto.xs)
+    assert scioto.y_at(big) > 1.5 * scioto.y_at(small)

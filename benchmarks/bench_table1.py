@@ -1,0 +1,17 @@
+"""Table 1: task-queue operation microbenchmarks (cluster + Cray XT4)."""
+
+from repro.bench.harness import scale
+from repro.bench.report import render
+from repro.bench.table1 import run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(run_table1, args=(scale(),), rounds=1, iterations=1)
+    print("\n" + render(result, x_label="op", fmt="{:.3f}"))
+    # measured values must sit within 40% of the paper's on every op
+    for machine in ("cluster", "cray-xt4"):
+        measured = result.get(f"{machine}-measured")
+        paper = result.get(f"{machine}-paper")
+        for x in measured.xs:
+            m, p = measured.y_at(x), paper.y_at(x)
+            assert 0.6 * p <= m <= 1.4 * p, (machine, x, m, p)

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper via the
+``repro.bench`` harness, prints the same rows/series the paper reports,
+and asserts the paper's *shape* (who wins, by roughly what factor).
+Wall-clock time of the regeneration itself is what pytest-benchmark
+records.  Scale with ``REPRO_SCALE=full`` for paper-sized process
+counts.
+"""

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Self-Consistent Field over Global Arrays: Scioto vs the original counter.
+
+Runs the paper's §6.2 SCF comparison on a synthetic model Hamiltonian:
+the Fock build is decomposed into screened, irregular block tasks;
+the Scioto version seeds them at the owners of their Fock blocks, the
+original version claims (all, including screened-out) pairs through a
+shared global counter.  Both must produce bit-identical energies to the
+sequential reference — the schedule cannot change the chemistry.
+
+Run:
+    python examples/scf_demo.py [nprocs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.scf import (
+    SCFProblem,
+    run_scf_original,
+    run_scf_scioto,
+    run_scf_sequential,
+)
+from repro.sim.machines import heterogeneous_cluster
+
+
+def main(nprocs: int = 8) -> None:
+    problem = SCFProblem(nblocks=20, blocksize=5)
+    iters = 4
+    print(f"SCF: {problem.nbf} basis functions, "
+          f"{len(problem.significant_pairs())} significant of "
+          f"{len(problem.all_pairs())} block pairs, {iters} iterations\n")
+
+    seq = run_scf_sequential(problem, iterations=iters)
+    machine = heterogeneous_cluster(nprocs)
+    scioto = run_scf_scioto(nprocs, problem, iterations=iters, machine=machine)
+    orig = run_scf_original(nprocs, problem, iterations=iters, machine=machine)
+
+    print("iter   E(sequential)      E(scioto)          E(original)")
+    for it, (e0, e1, e2) in enumerate(zip(seq, scioto.energies, orig.energies)):
+        print(f"{it:3d}   {e0:+.12f}  {e1:+.12f}  {e2:+.12f}")
+    assert np.allclose(seq, scioto.energies, atol=1e-10)
+    assert np.allclose(seq, orig.energies, atol=1e-10)
+
+    print(f"\nvirtual runtime on {nprocs} ranks: "
+          f"scioto {scioto.elapsed * 1e3:.1f} ms "
+          f"(fock {scioto.fock_time * 1e3:.1f} ms), "
+          f"original {orig.elapsed * 1e3:.1f} ms "
+          f"(fock {orig.fock_time * 1e3:.1f} ms)")
+    print("energies identical across schedulers: True")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Block-sparse tensor contraction (TCE kernel): locality matters.
+
+Contracts two block-sparse matrices into a distributed output array
+three ways (paper §6.2 plus ablation A4):
+
+* Scioto, tasks seeded at the owner of their output block (the paper's
+  locality-aware placement) — accumulates are local memory ops;
+* Scioto with round-robin placement — same scheduler, no locality;
+* the original global-counter scheme — every one of the nblocks^3
+  triples is claimed through a shared atomic counter, though most are
+  zero.
+
+Run:
+    python examples/tce_demo.py [nprocs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.tce import (
+    TCEProblem,
+    contract_sequential,
+    run_tce_original,
+    run_tce_scioto,
+)
+from repro.sim.machines import heterogeneous_cluster
+
+
+def main(nprocs: int = 8) -> None:
+    problem = TCEProblem(nblocks=10, blocksize=48, density=0.4)
+    nz = len(problem.nonzero_triples())
+    print(f"TCE: {problem.n}x{problem.n} matrices, "
+          f"{nz} nonzero triples of {len(problem.all_triples())} "
+          f"({100 * nz / len(problem.all_triples()):.0f}% real work)\n")
+
+    ref = contract_sequential(problem)
+    machine = heterogeneous_cluster(nprocs)
+    owner = run_tce_scioto(nprocs, problem, machine=machine, placement="owner")
+    robin = run_tce_scioto(nprocs, problem, machine=machine, placement="roundrobin")
+    orig = run_tce_original(nprocs, problem, machine=machine)
+
+    rows = [
+        ("Scioto (owner placement)", owner),
+        ("Scioto (round-robin)", robin),
+        ("Original (global counter)", orig),
+    ]
+    for label, r in rows:
+        assert np.allclose(r.result, ref, atol=1e-9), label
+        accs = int(r.comm.get("acc_remote", 0))
+        rmws = int(r.comm.get("rmw", 0))
+        print(f"{label:28s} {r.elapsed * 1e3:7.2f} ms   "
+              f"remote accs: {accs:4d}   counter claims: {rmws:5d}")
+    print("\nall three C matrices match the sequential reference")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

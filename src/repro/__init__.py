@@ -1,0 +1,23 @@
+"""Reproduction of *Scioto: A Framework for Global-View Task Parallelism*
+(Dinan, Krishnamoorthy, Larkins, Nieplocha, Sadayappan — ICPP 2008).
+
+Package map (see README.md and DESIGN.md for the full story):
+
+* :mod:`repro.sim` — deterministic discrete-event cluster simulator and
+  machine models (the hardware substitute).
+* :mod:`repro.armci` — one-sided communication (put/get/acc, atomics,
+  mutexes, mailboxes, collectives).
+* :mod:`repro.mpi` — two-sided messaging for the baselines.
+* :mod:`repro.ga` — Global Arrays subset (distributed dense arrays).
+* :mod:`repro.core` — the paper's contribution: task collections, split
+  queues, locality-aware work stealing, wave termination detection, plus
+  the §8 extensions (task graphs, wait-free steals).
+* :mod:`repro.baselines` — the comparison schedulers.
+* :mod:`repro.apps` — UTS, SCF, TCE, blocked matmul.
+* :mod:`repro.bench` — regenerates every table and figure (run
+  ``python -m repro.bench``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

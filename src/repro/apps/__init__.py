@@ -1,0 +1,1 @@
+"""The paper's evaluation applications: UTS, SCF, TCE, and blocked matmul."""

@@ -1,0 +1,25 @@
+"""Closed-shell Self-Consistent Field (SCF) over Global Arrays (§6.2).
+
+The paper extends a GA implementation of the closed-shell SCF method
+with Scioto task collections and compares it against the original
+global-counter load balancer.  This package reproduces that structure
+on a *synthetic model Hamiltonian* (see DESIGN.md's substitution
+ledger): the Fock build is decomposed into per-block tasks with
+Schwarz-style screening, irregular per-block cost, distributed Fock and
+density matrices in GA, and a Roothaan-style iteration loop with
+damping.  Identical arithmetic runs in the sequential reference, the
+Scioto version, and the counter version, so energies must agree to
+machine precision regardless of schedule.
+"""
+
+from repro.apps.scf.problem import SCFProblem
+from repro.apps.scf.reference import run_scf_sequential
+from repro.apps.scf.parallel import run_scf_scioto, run_scf_original, SCFRunResult
+
+__all__ = [
+    "SCFProblem",
+    "run_scf_sequential",
+    "run_scf_scioto",
+    "run_scf_original",
+    "SCFRunResult",
+]

@@ -1,0 +1,208 @@
+"""Parallel SCF drivers: Scioto task collections vs the original counter.
+
+Both drivers run the identical iteration skeleton — fill F's local patch
+with the core Hamiltonian, build the significant Fock blocks in
+parallel, then (replicated, as the original GA code does) gather F,
+diagonalize, and damp the density — and differ *only* in how Fock-block
+tasks are scheduled:
+
+* **Scioto** (§6.2): each rank seeds one high-affinity task per
+  significant pair whose F block it owns; work stealing balances the
+  irregular block costs.  Screened pairs are never enqueued — the
+  screening metadata is replicated, so owners skip them for free.
+* **Original**: the full ordered pair list (screened pairs included) is
+  replicated on every rank and tasks are claimed by atomic
+  ``read_inc`` on a shared counter — locality-oblivious, with every
+  claim a remote atomic serializing at the counter host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.scf.problem import SCFProblem
+from repro.armci.runtime import Armci
+from repro.baselines.global_counter import GlobalCounterScheduler
+from repro.core import AFFINITY_HIGH, SciotoConfig, Task, TaskCollection
+from repro.ga import GlobalArray
+from repro.sim.engine import Engine, SimResult
+from repro.sim.machines import MachineSpec
+
+__all__ = ["run_scf_scioto", "run_scf_original", "SCFRunResult"]
+
+#: Local cost of examining one pair while seeding / enumerating.
+_PAIR_SCAN_COST = 0.05e-6
+#: Wire size of one Fock-task body (two block indices + references).
+_SCF_TASK_BYTES = 48
+
+
+@dataclass
+class SCFRunResult:
+    """Outcome of a parallel SCF run."""
+
+    mode: str
+    nprocs: int
+    energies: list[float]
+    elapsed: float  #: virtual time of the full SCF loop (max over ranks)
+    fock_time: float  #: virtual time spent in Fock builds (max over ranks)
+    iterations: int
+    sim: SimResult
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def _block_box(problem: SCFProblem, i: int, j: int) -> tuple[tuple[int, int], tuple[int, int]]:
+    si, sj = problem.block_slice(i), problem.block_slice(j)
+    return (si.start, sj.start), (si.stop, sj.stop)
+
+
+def _execute_pair(proc, problem: SCFProblem, d_ga: GlobalArray, f_ga: GlobalArray,
+                  i: int, j: int) -> None:
+    """Shared task body: screen, read D blocks, compute, store F block."""
+    m = proc.machine
+    proc.compute(problem.task_flops(i, j) * m.seconds_per_flop)
+    if not problem.significant(i, j):
+        return
+    lo_ij, hi_ij = _block_box(problem, i, j)
+    lo_ji, hi_ji = _block_box(problem, j, i)
+    d_ij = d_ga.get(proc, lo_ij, hi_ij)
+    d_ji = d_ga.get(proc, lo_ji, hi_ji)
+    f_blk = problem.fock_block(i, j, d_ij, d_ji)
+    f_ga.put(proc, lo_ij, hi_ij, f_blk)
+
+
+def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
+              config: SciotoConfig | None, convergence: float | None):
+    armci = Armci.attach(proc.engine)
+    m = proc.machine
+    nbf = problem.nbf
+    d_ga = GlobalArray.create(proc, "D", (nbf, nbf))
+    f_ga = GlobalArray.create(proc, "F", (nbf, nbf))
+
+    # Scheduler setup (collective, once)
+    if mode == "scioto":
+        tc = TaskCollection.create(
+            proc, task_size=_SCF_TASK_BYTES,
+            max_tasks=problem.nblocks * problem.nblocks + 8,
+            config=config or SciotoConfig(),
+        )
+
+        def fock_task(tc_, task):
+            i, j = task.body
+            _execute_pair(tc_.proc, problem, d_ga, f_ga, i, j)
+
+        h = tc.register(fock_task)
+    else:
+        sched = GlobalCounterScheduler(
+            proc, lambda p, pair: _execute_pair(p, problem, d_ga, f_ga, *pair)
+        )
+        task_list = problem.all_pairs()  # replicated, screened pairs included
+
+    # Initial density: each rank writes its own patch (local).
+    (plo, phi) = d_ga.distribution(proc.rank)
+    d0 = problem.initial_density()
+    d_ga.access(proc)[...] = d0[tuple(slice(l, h) for l, h in zip(plo, phi))]
+    d_ga.sync(proc)
+
+    energies: list[float] = []
+    fock_time = 0.0
+    t_start = proc.now
+    h_full = problem.core_hamiltonian()
+    for _ in range(iterations):
+        # F starts as the core Hamiltonian (covers screened blocks).
+        f_ga.access(proc)[...] = h_full[tuple(slice(l, h) for l, h in zip(plo, phi))]
+        proc.advance(m.local_copy_time(f_ga.access(proc).nbytes))
+        f_ga.sync(proc)
+        t0 = proc.now
+        if mode == "scioto":
+            proc.advance(_PAIR_SCAN_COST * problem.nblocks * problem.nblocks)
+            for i in range(problem.nblocks):
+                for j in range(problem.nblocks):
+                    if not problem.significant(i, j):
+                        continue
+                    lo, _ = _block_box(problem, i, j)
+                    if f_ga.locate(lo) == proc.rank:
+                        tc.add(Task(callback=h, body=(i, j)), affinity=AFFINITY_HIGH)
+            tc.process()
+        else:
+            proc.advance(_PAIR_SCAN_COST * len(task_list))
+            sched.counter.reset(proc)
+            sched.run(task_list)
+        f_ga.sync(proc)
+        fock_time += proc.now - t0
+        # Replicated update: gather F, diagonalize, damp D, store own patch.
+        f_full = f_ga.read_full(proc)
+        d_old = d_ga.read_full(proc)
+        # sync before anyone overwrites D: every rank must finish reading
+        # the old density first (GA codes put a ga_sync here)
+        d_ga.sync(proc)
+        energies.append(problem.energy(f_full, d_old))
+        if (
+            convergence is not None
+            and len(energies) >= 2
+            and abs(energies[-1] - energies[-2]) < convergence
+        ):
+            # every rank computed the identical energies, so the early-stop
+            # decision is replicated — no extra collective needed
+            break
+        # The eigensolve is parallel in real GA codes (PeIGS); charge the
+        # per-rank share so it does not become an artificial serial term.
+        proc.compute(problem.diag_flops() * m.seconds_per_flop / proc.nprocs)
+        d_new = problem.next_density(f_full, d_old)
+        d_ga.access(proc)[...] = d_new[tuple(slice(l, h) for l, h in zip(plo, phi))]
+        d_ga.sync(proc)
+    elapsed = armci.allreduce(proc, proc.now - t_start, max)
+    fock_time = armci.allreduce(proc, fock_time, max)
+    return (energies, elapsed, fock_time)
+
+
+def _run(mode: str, nprocs: int, problem: SCFProblem, iterations: int,
+         machine: MachineSpec | None, seed: int,
+         config: SciotoConfig | None, max_events: int | None,
+         convergence: float | None) -> SCFRunResult:
+    eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events)
+    eng.spawn_all(_scf_main, problem, iterations, mode, config, convergence)
+    sim = eng.run()
+    energies, elapsed, fock_time = sim.returns[0]
+    return SCFRunResult(
+        mode=mode,
+        nprocs=nprocs,
+        energies=energies,
+        elapsed=elapsed,
+        fock_time=fock_time,
+        iterations=len(energies),
+        sim=sim,
+    )
+
+
+def run_scf_scioto(
+    nprocs: int,
+    problem: SCFProblem,
+    iterations: int = 4,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    config: SciotoConfig | None = None,
+    max_events: int | None = None,
+    convergence: float | None = None,
+) -> SCFRunResult:
+    """SCF with Scioto task collections (the paper's port).
+
+    ``convergence`` enables early stop on ``|dE|`` below the threshold.
+    """
+    return _run("scioto", nprocs, problem, iterations, machine, seed, config,
+                max_events, convergence)
+
+
+def run_scf_original(
+    nprocs: int,
+    problem: SCFProblem,
+    iterations: int = 4,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    max_events: int | None = None,
+    convergence: float | None = None,
+) -> SCFRunResult:
+    """SCF with the original replicated-list + global-counter scheduler."""
+    return _run("original", nprocs, problem, iterations, machine, seed, None,
+                max_events, convergence)

@@ -1,0 +1,54 @@
+"""Sequential SCF reference: plain NumPy, no simulator.
+
+Runs the exact arithmetic of the parallel versions (same block kernels
+from :class:`SCFProblem`), so parallel energies must match these to
+machine precision — the correctness oracle for both schedulers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.scf.problem import SCFProblem
+
+__all__ = ["run_scf_sequential", "build_fock_sequential"]
+
+
+def build_fock_sequential(problem: SCFProblem, density: np.ndarray) -> np.ndarray:
+    """Assemble the full Fock matrix block by block."""
+    nbf = problem.nbf
+    fock = np.zeros((nbf, nbf))
+    for i in range(problem.nblocks):
+        si = problem.block_slice(i)
+        for j in range(problem.nblocks):
+            sj = problem.block_slice(j)
+            if not problem.significant(i, j):
+                # screened pairs contribute only the core Hamiltonian
+                fock[si, sj] = problem.core_hamiltonian()[si, sj]
+                continue
+            fock[si, sj] = problem.fock_block(i, j, density[si, sj], density[sj, si])
+    return fock
+
+
+def run_scf_sequential(
+    problem: SCFProblem, iterations: int = 4, convergence: float | None = None
+) -> list[float]:
+    """Run up to ``iterations`` SCF cycles; returns the energy after each.
+
+    With ``convergence`` set, stops once ``|E_n - E_{n-1}| < convergence``
+    — the same criterion the parallel drivers apply, so energy
+    trajectories (including their length) stay schedule-invariant.
+    """
+    density = problem.initial_density()
+    energies: list[float] = []
+    for _ in range(iterations):
+        fock = build_fock_sequential(problem, density)
+        energies.append(problem.energy(fock, density))
+        if (
+            convergence is not None
+            and len(energies) >= 2
+            and abs(energies[-1] - energies[-2]) < convergence
+        ):
+            break
+        density = problem.next_density(fock, density)
+    return energies

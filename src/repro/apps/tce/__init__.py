@@ -1,0 +1,26 @@
+"""Sparse tensor contraction kernel from the Tensor Contraction Engine (§6.2).
+
+The paper's TCE kernel contracts two block-sparse tensors stored in
+Global Arrays and accumulates into a distributed output array; the
+irregularity comes from sparsity in the inputs.  The original code
+balances load with a shared global counter over *all* block triples —
+most of which are zero and are claimed only to be discarded — while the
+Scioto port seeds one task per *nonzero* triple at the owner of its
+output block.
+
+This package reproduces that structure with deterministic block-sparse
+matrices: ``C[i,j] += A[i,k] @ B[k,j]`` over a block grid, with random
+(deterministic, replicated) nonzero masks for A and B.
+"""
+
+from repro.apps.tce.problem import TCEProblem
+from repro.apps.tce.parallel import run_tce_scioto, run_tce_original, TCERunResult
+from repro.apps.tce.reference import contract_sequential
+
+__all__ = [
+    "TCEProblem",
+    "run_tce_scioto",
+    "run_tce_original",
+    "TCERunResult",
+    "contract_sequential",
+]

@@ -1,0 +1,14 @@
+"""Sequential contraction reference (plain NumPy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.tce.problem import TCEProblem
+
+__all__ = ["contract_sequential"]
+
+
+def contract_sequential(problem: TCEProblem) -> np.ndarray:
+    """Dense reference result of ``C = A @ B`` for the instance."""
+    return problem.dense_a() @ problem.dense_b()

@@ -1,0 +1,25 @@
+"""The Unbalanced Tree Search benchmark (Olivier et al., LCPC 2006).
+
+UTS performs exhaustive parallel traversal of a deterministic,
+highly-unbalanced tree whose shape is derived from SHA-1: each node's
+child count comes from hashing its 20-byte descriptor, so the same
+parameters always generate the same tree regardless of how the
+traversal is parallelized.  Millions of fine-grained tasks with extreme
+imbalance make UTS a stress test for dynamic load balancing (§6.2).
+"""
+
+from repro.apps.uts.tree import UTSParams, UTSNode, TreeStats, root_node, children_of, count_tree
+from repro.apps.uts.scioto_uts import run_uts_scioto, UTSRunResult
+from repro.apps.uts.mpi_uts import run_uts_mpi
+
+__all__ = [
+    "UTSParams",
+    "UTSNode",
+    "TreeStats",
+    "root_node",
+    "children_of",
+    "count_tree",
+    "run_uts_scioto",
+    "run_uts_mpi",
+    "UTSRunResult",
+]

@@ -1,0 +1,49 @@
+"""Named UTS instances, scaled from the benchmark's canonical T-series.
+
+The UTS distribution defines sample trees T1-T5 with 4M-300M nodes; at
+simulator speed those are impractical, so this module provides
+*shape-preserving* scaled instances: same tree type and branching
+character, reduced depth.  Sizes are exact (the trees are deterministic)
+and verified by test.
+
+========  ==========  ========  ===============================
+name      type        nodes     character
+========  ==========  ========  ===============================
+tiny      geometric   2,336     unit-test sized
+small     geometric   30,929    quick benchmarks
+medium    geometric   122,415   Figure 7 full scale
+large     geometric   477,673   Figure 8 full scale
+binomial  binomial    86,066    depth 155, extreme subtree variance
+========  ==========  ========  ===============================
+"""
+
+from __future__ import annotations
+
+from repro.apps.uts.tree import UTSParams
+
+__all__ = ["PRESETS", "preset", "EXPECTED_NODES"]
+
+PRESETS: dict[str, UTSParams] = {
+    "tiny": UTSParams(tree_type="geometric", b0=4.0, gen_mx=8, root_seed=6),
+    "small": UTSParams(tree_type="geometric", b0=4.0, gen_mx=10, root_seed=17),
+    "medium": UTSParams(tree_type="geometric", b0=4.0, gen_mx=12, root_seed=17),
+    "large": UTSParams(tree_type="geometric", b0=4.0, gen_mx=14, root_seed=17),
+    "binomial": UTSParams(tree_type="binomial", b0=2000, q=0.195, m=5, root_seed=42),
+}
+
+#: Exact node counts of the presets (deterministic; asserted in tests).
+EXPECTED_NODES = {
+    "tiny": 2_336,
+    "small": 30_929,
+    "medium": 122_415,
+    "large": 477_673,
+    "binomial": 86_066,
+}
+
+
+def preset(name: str) -> UTSParams:
+    """Look up a named UTS instance."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown UTS preset {name!r}; choose from {sorted(PRESETS)}") from None

@@ -1,0 +1,145 @@
+"""UTS tree generation: SHA-1 splittable random streams.
+
+Follows the UTS benchmark definition: a node is a 20-byte SHA-1 digest;
+child ``i`` of a node is ``SHA1(digest || i)``.  The node's child count
+is a deterministic function of its digest and depth:
+
+* **geometric** trees — the child count is geometrically distributed
+  with depth-dependent expectation ``b(d) = b0 * (1 - d / gen_mx)``
+  (linear shape) truncated at depth ``gen_mx``.  Moderately unbalanced;
+  the workload of Figures 7-8.
+* **binomial** trees — the root has ``b0`` children; every other node
+  has ``m`` children with probability ``q`` and none otherwise.  With
+  ``q * m < 1`` the tree is finite but its subtree sizes have huge
+  variance: the classic stress test for work stealing.
+
+Because the digest chain fully determines the tree, any traversal order
+(or parallelization) yields identical node/leaf counts — which is how
+the tests validate the runtime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+__all__ = ["UTSParams", "UTSNode", "TreeStats", "root_node", "children_of", "count_tree", "num_children"]
+
+
+@dataclass(frozen=True)
+class UTSParams:
+    """Parameters selecting a deterministic UTS tree.
+
+    Attributes:
+        tree_type: ``"geometric"`` or ``"binomial"``.
+        b0: Root branching factor (also the expected branching at depth 0
+            for geometric trees).
+        gen_mx: Maximum depth of a geometric tree.
+        q: Probability a non-root binomial node has children.
+        m: Number of children of a non-leaf binomial node.
+        root_seed: Seed of the root digest; different seeds give
+            completely different trees.
+    """
+
+    tree_type: str = "geometric"
+    b0: float = 4.0
+    gen_mx: int = 6
+    q: float = 0.15
+    m: int = 4
+    root_seed: int = 19
+
+    def __post_init__(self) -> None:
+        if self.tree_type not in ("geometric", "binomial"):
+            raise ValueError(f"unknown tree_type {self.tree_type!r}")
+        if self.tree_type == "binomial" and self.q * self.m >= 1.0:
+            raise ValueError(
+                f"binomial tree with q*m = {self.q * self.m:.3f} >= 1 is "
+                "supercritical (infinite with positive probability)"
+            )
+
+
+@dataclass(frozen=True)
+class UTSNode:
+    """One tree node: its SHA-1 digest and its depth."""
+
+    digest: bytes
+    depth: int
+
+
+@dataclass
+class TreeStats:
+    """Exhaustive traversal statistics (the benchmark's checksum)."""
+
+    nodes: int = 0
+    leaves: int = 0
+    max_depth: int = 0
+
+    def merge(self, other: "TreeStats") -> "TreeStats":
+        return TreeStats(
+            nodes=self.nodes + other.nodes,
+            leaves=self.leaves + other.leaves,
+            max_depth=max(self.max_depth, other.max_depth),
+        )
+
+
+def root_node(params: UTSParams) -> UTSNode:
+    """The root of the tree selected by ``params``."""
+    digest = hashlib.sha1(params.root_seed.to_bytes(8, "big")).digest()
+    return UTSNode(digest=digest, depth=0)
+
+
+def _uniform(digest: bytes) -> float:
+    """Map a digest to a uniform value in [0, 1)."""
+    return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+
+def num_children(params: UTSParams, node: UTSNode) -> int:
+    """Deterministic child count of ``node``."""
+    u = _uniform(node.digest)
+    if params.tree_type == "geometric":
+        if node.depth >= params.gen_mx:
+            return 0
+        b_d = params.b0 * (1.0 - node.depth / params.gen_mx)
+        if b_d <= 0:
+            return 0
+        p = 1.0 / (1.0 + b_d)
+        # inverse-CDF sample of Geometric(p) supported on {0, 1, 2, ...}
+        return int(math.floor(math.log(1.0 - u) / math.log(1.0 - p)))
+    # binomial
+    if node.depth == 0:
+        return int(params.b0)
+    return params.m if u < params.q else 0
+
+
+def children_of(params: UTSParams, node: UTSNode) -> list[UTSNode]:
+    """Generate the children of ``node`` via the SHA-1 chain."""
+    n = num_children(params, node)
+    out = []
+    for i in range(n):
+        digest = hashlib.sha1(node.digest + i.to_bytes(4, "big")).digest()
+        out.append(UTSNode(digest=digest, depth=node.depth + 1))
+    return out
+
+
+def count_tree(params: UTSParams, max_nodes: int | None = None) -> TreeStats:
+    """Sequentially traverse the whole tree (reference implementation).
+
+    Args:
+        max_nodes: Abort with :class:`ValueError` if the tree exceeds this
+            many nodes — a guard against accidentally huge parameters.
+    """
+    stats = TreeStats()
+    stack = [root_node(params)]
+    while stack:
+        node = stack.pop()
+        stats.nodes += 1
+        stats.max_depth = max(stats.max_depth, node.depth)
+        if max_nodes is not None and stats.nodes > max_nodes:
+            raise ValueError(f"tree exceeds max_nodes={max_nodes}")
+        kids = children_of(params, node)
+        if not kids:
+            stats.leaves += 1
+        else:
+            stack.extend(kids)
+    return stats

@@ -1,0 +1,13 @@
+"""ARMCI-like one-sided communication layer over the simulator.
+
+Provides the primitives the paper's runtime is built on: one-sided
+put/get/accumulate, remote atomic read-modify-write, mutexes, one-sided
+messages (mailboxes), fences and barriers.  Costs are charged through
+the machine model; semantics (remote completion ordering, lock
+contention, atomic serialization at the target NIC) follow ARMCI.
+"""
+
+from repro.armci.runtime import Armci
+from repro.armci.collectives import armci_barrier_cost, mpi_barrier_cost
+
+__all__ = ["Armci", "armci_barrier_cost", "mpi_barrier_cost"]

@@ -1,0 +1,43 @@
+"""Analytic completion-cost models for barrier-style collectives.
+
+Figure 4 of the paper compares Scioto's (fully message-level)
+termination detector against MPI barriers and ARMCI fences.  The
+barriers themselves are modelled analytically: all ranks must arrive,
+then everyone leaves after the algorithm's critical-path cost.
+
+* MPI barrier — dissemination algorithm: ``ceil(log2 p)`` rounds, each a
+  message latency plus per-round software overhead.
+* ARMCI barrier/fence — flush of outstanding one-sided operations plus a
+  tree gather/release; slightly more expensive than the MPI barrier, as
+  the paper's Figure 4 shows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.machines import MachineSpec
+
+__all__ = ["mpi_barrier_cost", "armci_barrier_cost"]
+
+#: Per-round software overhead of a barrier round (message handling).
+_ROUND_OVERHEAD = 0.4e-6
+#: Extra one-time cost of flushing the one-sided pipeline (ARMCI fence).
+_FENCE_FLUSH = 2.0e-6
+
+
+def mpi_barrier_cost(machine: MachineSpec, nprocs: int) -> float:
+    """Critical-path cost of a dissemination barrier after the last arrival."""
+    if nprocs <= 1:
+        return _ROUND_OVERHEAD
+    rounds = math.ceil(math.log2(nprocs))
+    return rounds * (machine.latency + _ROUND_OVERHEAD)
+
+
+def armci_barrier_cost(machine: MachineSpec, nprocs: int) -> float:
+    """Critical-path cost of an ARMCI fence + tree barrier after last arrival."""
+    if nprocs <= 1:
+        return _ROUND_OVERHEAD + _FENCE_FLUSH
+    depth = math.ceil(math.log2(nprocs))
+    # gather up the tree + release down the tree, plus the fence flush
+    return _FENCE_FLUSH + 2.0 * depth * (machine.latency + _ROUND_OVERHEAD)

@@ -1,0 +1,14 @@
+"""Baseline schedulers the paper compares Scioto against (§6.2).
+
+* :class:`~repro.baselines.mpi_ws.MpiWorkStealing` — two-sided work
+  stealing over message passing with explicit polling (the original UTS
+  load balancer).
+* :class:`~repro.baselines.global_counter.GlobalCounterScheduler` — a
+  replicated task list claimed via a shared atomic counter (the original
+  SCF and TCE load balancer).
+"""
+
+from repro.baselines.mpi_ws import MpiWorkStealing
+from repro.baselines.global_counter import GlobalCounterScheduler
+
+__all__ = ["MpiWorkStealing", "GlobalCounterScheduler"]

@@ -1,0 +1,64 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                      # everything, quick scale
+    python -m repro.bench --scale full         # paper-scale process counts
+    python -m repro.bench --only figure7 table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.ablations import (
+    run_ablation_affinity,
+    run_ablation_chunk,
+    run_ablation_static,
+    run_ablation_termination,
+    run_ablation_waitfree,
+)
+from repro.bench.figure4 import run_figure4
+from repro.bench.figure56 import run_figure56
+from repro.bench.figure7 import run_figure7
+from repro.bench.figure8 import run_figure8
+from repro.bench.harness import scale as resolve_scale
+from repro.bench.report import render
+from repro.bench.table1 import run_table1
+
+EXPERIMENTS = {
+    "table1": (run_table1, dict(x_label="op", fmt="{:.3f}")),
+    "figure4": (run_figure4, dict(fmt="{:.1f}")),
+    "figure56": (run_figure56, dict(fmt="{:.3g}")),
+    "figure7": (run_figure7, dict(fmt="{:.2f}")),
+    "figure8": (run_figure8, dict(fmt="{:.2f}")),
+    "ablation-termination": (run_ablation_termination, dict(fmt="{:.3g}")),
+    "ablation-chunk": (run_ablation_chunk, dict(x_label="chunk", fmt="{:.3g}")),
+    "ablation-affinity": (run_ablation_affinity, dict(x_label="mode", fmt="{:.3g}")),
+    "ablation-static": (run_ablation_static, dict(fmt="{:.2f}")),
+    "ablation-waitfree": (run_ablation_waitfree, dict(fmt="{:.2f}")),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["quick", "full"], default=None)
+    parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
+                        help="run only these experiments")
+    args = parser.parse_args(argv)
+    s = resolve_scale(args.scale)
+    chosen = args.only or list(EXPERIMENTS)
+    print(f"# repro benchmark suite — scale={s}\n")
+    for name in chosen:
+        fn, render_kwargs = EXPERIMENTS[name]
+        t0 = time.time()
+        result = fn(s)
+        print(render(result, **render_kwargs))
+        print(f"  ({time.time() - t0:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

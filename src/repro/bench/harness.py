@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing: scale selection and sweep helpers."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["scale", "sweep_procs", "QUICK", "FULL"]
+
+QUICK = "quick"
+FULL = "full"
+
+
+def scale(override: str | None = None) -> str:
+    """The active benchmark scale (``quick`` or ``full``).
+
+    Priority: explicit ``override`` argument, then the ``REPRO_SCALE``
+    environment variable, then ``quick``.
+    """
+    s = override or os.environ.get("REPRO_SCALE", QUICK)
+    if s not in (QUICK, FULL):
+        raise ValueError(f"unknown scale {s!r}; use 'quick' or 'full'")
+    return s
+
+
+def sweep_procs(scale_name: str, max_full: int = 64, max_quick: int = 16) -> list[int]:
+    """Power-of-two process counts for a scaling sweep."""
+    limit = max_full if scale_name == FULL else max_quick
+    out = []
+    p = 2
+    while p <= limit:
+        out.append(p)
+        p *= 2
+    return out

@@ -1,0 +1,40 @@
+"""Rendering of benchmark results: aligned tables and paper-vs-measured."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.format import format_table
+from repro.util.records import SweepResult
+
+__all__ = ["render", "paper_vs_measured"]
+
+
+def render(result: SweepResult, x_label: str = "procs", fmt: str = "{:.3g}") -> str:
+    """Render a sweep as one aligned table, one column per series."""
+    xs = sorted({x for s in result.series for x in s.xs})
+    headers = [x_label] + [
+        f"{s.label}" + (f" [{s.unit}]" if s.unit else "") for s in result.series
+    ]
+    rows = []
+    for x in xs:
+        row: list[object] = [int(x) if float(x).is_integer() else x]
+        for s in result.series:
+            row.append(fmt.format(s.y_at(x)) if x in s.xs else "-")
+        rows.append(row)
+    body = format_table(headers, rows, title=f"== {result.experiment} ==")
+    if result.notes:
+        body += "\n" + "\n".join(f"  note: {n}" for n in result.notes)
+    return body
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Sequence[tuple[str, str, str, str]],
+) -> str:
+    """Render a (quantity, paper value, measured value, verdict) table."""
+    return format_table(
+        ["quantity", "paper", "measured", "shape"],
+        rows,
+        title=title,
+    )

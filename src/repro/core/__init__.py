@@ -1,0 +1,34 @@
+"""Scioto: shared collections of task objects (the paper's contribution).
+
+Public API mirrors §3 of the paper:
+
+* :class:`TaskCollection` — ``create`` / ``add`` / ``process`` / ``reset``
+  / ``destroy`` plus callback and common-local-object registration.
+* :class:`Task` — a task descriptor (header + opaque user body).
+* :class:`SciotoConfig` — runtime knobs: split vs locked queues, steal
+  chunk size, locality-aware stealing, termination-detector options.
+
+See ``repro.core.capi`` for a facade matching the paper's C names
+(``tc_create``, ``tc_add``, ``tc_process``, ...).
+"""
+
+from repro.core.config import SciotoConfig
+from repro.core.task import Task, AFFINITY_HIGH, AFFINITY_LOW, TASK_HEADER_BYTES
+from repro.core.collection import TaskCollection
+from repro.core.stats import ProcessStats
+from repro.core.queue import SplitQueue
+from repro.core.termination import TerminationDetector
+from repro.core.graph import TaskGraph
+
+__all__ = [
+    "TaskCollection",
+    "Task",
+    "SciotoConfig",
+    "ProcessStats",
+    "SplitQueue",
+    "TerminationDetector",
+    "TaskGraph",
+    "AFFINITY_HIGH",
+    "AFFINITY_LOW",
+    "TASK_HEADER_BYTES",
+]

@@ -1,0 +1,364 @@
+"""The split task queue (§5): lock-free local portion, locked shared portion.
+
+Each process owns one queue; the aggregation of all queues is the task
+collection.  The queue holds task descriptors ordered by affinity —
+highest affinity at the *head* (executed locally first), lowest at the
+*tail* (stolen first).  The queue is split into a private portion
+(head side), accessed by the owner without locking, and a shared portion
+(tail side), protected by an ARMCI mutex and accessible to thieves
+through one-sided operations.  The owner moves tasks across the split
+with cheap pointer adjustments: *release* feeds surplus private work to
+the shared portion, *reacquire* reclaims shared work when the private
+portion drains.
+
+The paper's implementation stores descriptors in a contiguous circular
+array so a chunk of tasks moves in a single one-sided transfer; here the
+storage is a Python list and contiguity shows up purely in the cost
+model (one lock + one metadata get + one bulk get per steal).
+
+With ``split_queues=False`` the queue degenerates to the paper's
+original fully-locked design: the owner takes the mutex for every local
+operation and stalls behind in-progress steals (Figure 7's "No Split"
+line).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING
+
+from repro.armci.runtime import Armci
+from repro.core.config import SciotoConfig
+from repro.core.task import Task
+from repro.sim.engine import Engine, Proc
+from repro.sim.trace import Counters
+from repro.sim.tracing import trace
+from repro.util.errors import TaskCollectionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["SplitQueue", "QUEUE_META_BYTES"]
+
+#: Bytes of queue metadata (head/split/tail indices) read/written remotely.
+QUEUE_META_BYTES = 24
+
+
+class SplitQueue:
+    """One process's patch of the distributed task collection."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        owner: int,
+        capacity: int,
+        default_body_size: int,
+        config: SciotoConfig,
+        counters: Counters,
+        name: str = "tq",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.engine = engine
+        self.armci = Armci.attach(engine)
+        self.owner = owner
+        self.capacity = capacity
+        self.default_body_size = default_body_size
+        self.config = config
+        self.counters = counters
+        # Ordered descending by affinity; index 0 is the head.
+        # In split mode _private is the owner's lock-free portion and
+        # _shared the steal-able portion; in locked mode everything lives
+        # in _shared and every operation takes the mutex.
+        self._private: list[Task] = []
+        self._shared: list[Task] = []
+        self.mutex = self.armci.create_mutex(owner, f"{name}[{owner}]")
+
+    # ------------------------------------------------------------------ #
+    # Introspection (no cost; owner-view or test use)
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        """Total tasks currently queued (private + shared)."""
+        return len(self._private) + len(self._shared)
+
+    def private_size(self) -> int:
+        return len(self._private)
+
+    def shared_size(self) -> int:
+        return len(self._shared)
+
+    def empty_fast(self, proc: Proc) -> bool:
+        """Owner's cheap emptiness probe: a local flag read, no global sync.
+
+        May be slightly stale with respect to in-flight remote inserts,
+        so callers must re-check through :meth:`pop_local` (which
+        synchronizes) before treating the queue as drained.  Kept as a
+        public utility for applications that poll their own queue.
+        """
+        proc.advance(self.engine.machine.local_get_overhead)
+        return self.size() == 0
+
+    # ------------------------------------------------------------------ #
+    # Owner-side operations
+    # ------------------------------------------------------------------ #
+    def _wire(self, task: Task) -> int:
+        return task.wire_size(self.default_body_size)
+
+    def _check_capacity(self, extra: int) -> None:
+        if self.size() + extra > self.capacity:
+            raise TaskCollectionError(
+                f"task queue on rank {self.owner} overflow: "
+                f"{self.size()} + {extra} > max_tasks={self.capacity}"
+            )
+
+    @staticmethod
+    def _insert_by_affinity(region: list[Task], task: Task) -> None:
+        """Insert keeping descending affinity; equal affinities go to the
+        front of their class (LIFO — newest first, for locality)."""
+        if not region or task.affinity >= region[0].affinity:
+            region.insert(0, task)
+            return
+        pos = bisect.bisect_left([-t.affinity for t in region], -task.affinity)
+        region.insert(pos, task)
+
+    def push_local(self, proc: Proc, task: Task) -> None:
+        """Owner enqueues a task (lock-free in split mode)."""
+        if proc.rank != self.owner:
+            raise TaskCollectionError("push_local called by non-owner")
+        m = self.engine.machine
+        self.counters.add(proc.rank, "local_push")
+        if self.config.split_queues:
+            proc.advance(m.local_insert_overhead + m.local_copy_time(self._wire(task)))
+            proc.sync()
+            self._check_capacity(1)
+            self._insert_by_affinity(self._private, task)
+            self._maybe_release(proc)
+        else:
+            self.mutex.acquire(proc)
+            proc.advance(m.local_insert_overhead + m.local_copy_time(self._wire(task)))
+            proc.sync()
+            self._check_capacity(1)
+            self._insert_by_affinity(self._shared, task)
+            self.mutex.release(proc)
+
+    def pop_local(self, proc: Proc) -> Task | None:
+        """Owner dequeues the highest-affinity task, or None if empty."""
+        if proc.rank != self.owner:
+            raise TaskCollectionError("pop_local called by non-owner")
+        m = self.engine.machine
+        if self.config.split_queues:
+            proc.advance(m.local_get_overhead)
+            proc.sync()
+            if not self._private and self._shared:
+                self._reacquire(proc)
+            if not self._private:
+                return None
+            task = self._private.pop(0)
+            proc.advance(m.local_copy_time(self._wire(task)))
+            self.counters.add(proc.rank, "local_pop")
+            self._maybe_release(proc)
+            return task
+        self.mutex.acquire(proc)
+        proc.advance(m.local_get_overhead)
+        proc.sync()
+        task = self._shared.pop(0) if self._shared else None
+        if task is not None:
+            proc.advance(m.local_copy_time(self._wire(task)))
+            self.counters.add(proc.rank, "local_pop")
+        self.mutex.release(proc)
+        return task
+
+    def _maybe_release(self, proc: Proc) -> None:
+        """Feed surplus private work to the shared portion (split move).
+
+        Triggered when the shared portion has been drained (by thieves or
+        by reacquisition): ``release_fraction`` of the private queue —
+        its lowest-affinity tail — becomes stealable.  Checking only on
+        emptiness keeps the owner's fast path lock-free in steady state.
+        """
+        if self._shared or len(self._private) < 2:
+            return
+        k = min(
+            len(self._private) - 1,
+            max(1, int(len(self._private) * self.config.release_fraction)),
+        )
+
+        def _move() -> None:
+            # lowest-affinity private tasks (the tail) become shared; keep
+            # the shared region sorted (remote adds may interleave)
+            self._shared = self._private[-k:] + self._shared
+            del self._private[-k:]
+            self._shared.sort(key=lambda t: -t.affinity)
+
+        self._owner_split_update(proc, _move)
+        self.counters.add(proc.rank, "release_ops")
+        self.counters.add(proc.rank, "tasks_released", k)
+
+    def _reacquire(self, proc: Proc) -> None:
+        """Reclaim shared work for local execution (split move)."""
+        if not self._shared:
+            return
+        k = max(1, int(len(self._shared) * self.config.reacquire_fraction))
+
+        def _move() -> None:
+            # highest-affinity shared tasks (the front) come back to private
+            self._private.extend(self._shared[:k])
+            del self._shared[:k]
+
+        self._owner_split_update(proc, _move)
+        self.counters.add(proc.rank, "reacquire_ops")
+        self.counters.add(proc.rank, "tasks_reacquired", k)
+
+    def _owner_split_update(self, proc: Proc, move_fn) -> None:
+        """Owner-side split-pointer adjustment.
+
+        Locked mode takes the queue mutex briefly; wait-free mode uses a
+        local CAS on the metadata, serializing with thieves' reservation
+        atomics at this rank instead of blocking behind them.
+        """
+        if self.config.wait_free_steals:
+            self.armci.rmw(proc, self.owner, lambda: (move_fn(), None)[1])
+            return
+        self.mutex.acquire(proc)
+        proc.advance(self.engine.machine.local_lock_overhead)
+        proc.sync()
+        move_fn()
+        self.mutex.release(proc)
+
+    # ------------------------------------------------------------------ #
+    # Remote operations (thief / remote inserter side)
+    # ------------------------------------------------------------------ #
+    def steal_from(self, proc: Proc, want: int, probe_first: bool = False) -> list[Task]:
+        """Steal up to ``want`` lowest-affinity tasks from this queue.
+
+        Full one-sided protocol: lock, read metadata, bulk-get the chunk
+        from the tail of the shared portion, update indices, unlock.
+        Returns the stolen tasks ([] if none were available).
+
+        With ``probe_first`` the thief reads the queue indices with a
+        single unlocked get and backs off if the shared portion is empty
+        — reading the split/tail words is safe without the mutex, and it
+        makes idle-phase probing ~4x cheaper than a locked steal.  The
+        scheduler enables this once steals start failing.
+        """
+        if proc.rank == self.owner:
+            raise TaskCollectionError("a process cannot steal from itself")
+        m = self.engine.machine
+        self.counters.add(proc.rank, "steal_attempt")
+        if self.config.wait_free_steals:
+            return self._steal_waitfree(proc, want)
+        if probe_first:
+            n_shared = self.armci.get(
+                proc, self.owner, QUEUE_META_BYTES, lambda: len(self._shared)
+            )
+            if n_shared == 0:
+                self.counters.add(proc.rank, "steal_probe_empty")
+                return []
+        self.mutex.acquire(proc)
+
+        # The queue is contiguous, so metadata and the tail chunk arrive in
+        # a single one-sided get (the paper's "several tasks ... using a
+        # single one-sided communication operation", §5).
+        def _take() -> list[Task]:
+            k = min(want, len(self._shared))
+            taken = self._shared[len(self._shared) - k :]
+            del self._shared[len(self._shared) - k :]
+            return taken
+
+        probe_k = min(want, len(self._shared))
+        nbytes = QUEUE_META_BYTES + sum(
+            self._wire(t) for t in self._shared[len(self._shared) - probe_k :]
+        )
+        tasks = self.armci.get(proc, self.owner, nbytes, _take)
+        if not tasks:
+            self.mutex.release(proc)
+            proc.advance(m.remote_op_overhead)
+            return []
+        self.armci.put(proc, self.owner, QUEUE_META_BYTES, None)  # index update
+        self.mutex.release(proc)
+        proc.advance(m.remote_op_overhead)
+        self.counters.add(proc.rank, "steal_success")
+        self.counters.add(proc.rank, "tasks_stolen", len(tasks))
+        trace(proc, "steal", f"{len(tasks)} tasks from rank {self.owner}")
+        return tasks
+
+    def _steal_waitfree(self, proc: Proc, want: int) -> list[Task]:
+        """Wait-free steal (§8 future work): one remote atomic reserves the
+        chunk by moving the tail index; the descriptors then move with a
+        single get.  No mutex is taken, so an in-progress steal never
+        blocks the owner or other thieves — reservations serialize only
+        for the duration of the metadata atomic at the target."""
+        m = self.engine.machine
+
+        def _reserve() -> list[Task]:
+            k = min(want, len(self._shared))
+            taken = self._shared[len(self._shared) - k :]
+            del self._shared[len(self._shared) - k :]
+            return taken
+
+        tasks = self.armci.rmw(proc, self.owner, _reserve)
+        if not tasks:
+            return []
+        nbytes = sum(self._wire(t) for t in tasks)
+        proc.advance(m.get_time(nbytes))  # fetch the reserved slots
+        proc.sync()
+        proc.advance(m.remote_op_overhead)
+        self.counters.add(proc.rank, "steal_success")
+        self.counters.add(proc.rank, "tasks_stolen", len(tasks))
+        trace(proc, "steal-wf", f"{len(tasks)} tasks from rank {self.owner}")
+        return tasks
+
+    def absorb_stolen(self, proc: Proc, tasks: list[Task]) -> None:
+        """Thief deposits a stolen chunk into its own queue.
+
+        The chunk arrived in one contiguous buffer; absorbing it is a
+        single local copy plus an insert, then an affinity-order merge.
+        """
+        if proc.rank != self.owner:
+            raise TaskCollectionError("absorb_stolen called by non-owner")
+        if not tasks:
+            return
+        m = self.engine.machine
+        nbytes = sum(self._wire(t) for t in tasks)
+        proc.advance(m.local_insert_overhead + m.local_copy_time(nbytes))
+        proc.sync()
+        self._check_capacity(len(tasks))
+        region = self._private if self.config.split_queues else self._shared
+        region.extend(tasks)
+        region.sort(key=lambda t: -t.affinity)  # stable merge; mostly sorted
+        if self.config.split_queues:
+            self._maybe_release(proc)
+
+    def add_remote(self, proc: Proc, task: Task) -> None:
+        """Insert a task into another process's queue (remote ``tc_add``).
+
+        Protocol: lock, read tail index, put the descriptor, update the
+        index, unlock.  The task lands in the shared portion — remote
+        processes never touch the owner's private region.
+        """
+        if proc.rank == self.owner:
+            raise TaskCollectionError("add_remote called by the owner; use push_local")
+        m = self.engine.machine
+        self.counters.add(proc.rank, "remote_add")
+
+        def _insert() -> None:
+            self._check_capacity(1)
+            self._insert_by_affinity(self._shared, task)
+
+        if self.config.wait_free_steals:
+            # reserve a slot with one atomic, then put the descriptor
+            self.armci.rmw(proc, self.owner, _insert)
+            self.armci.put(proc, self.owner, self._wire(task), None)
+        else:
+            self.mutex.acquire(proc)
+            self.armci.get(proc, self.owner, QUEUE_META_BYTES, None)  # read indices
+            self.armci.put(proc, self.owner, self._wire(task), _insert)
+            self.mutex.release(proc)
+        proc.advance(m.remote_op_overhead)
+
+    def drain(self) -> list[Task]:
+        """Remove and return all queued tasks (used by ``tc_reset``)."""
+        out = self._private + self._shared
+        self._private = []
+        self._shared = []
+        return out

@@ -1,0 +1,117 @@
+"""The ``tc_process`` scheduler loop: execute, steal, detect termination.
+
+Each rank loops: drain termination tokens (cheap when none are
+pending), pop the highest-affinity local task and execute it; when the
+local queue drains, steal a chunk of low-affinity tasks from a random
+victim; when steals fail, participate in the termination wave.  The
+call returns on every rank once the root's all-white wave completes and
+the ``done`` broadcast reaches it (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.armci.runtime import Armci
+from repro.core.stats import ProcessStats
+from repro.core.stealing import make_victim_selector
+from repro.util.errors import TaskCollectionError
+
+__all__ = ["run_process"]
+
+#: Counter keys copied into :class:`ProcessStats` after a phase.
+_STAT_KEYS = {
+    "steals_attempted": "steal_attempt",
+    "steals_successful": "steal_success",
+    "tasks_stolen": "tasks_stolen",
+    "tasks_released": "tasks_released",
+    "tasks_reacquired": "tasks_reacquired",
+    "dirty_msgs": "dirty_msgs",
+    "dirty_msgs_skipped": "dirty_msgs_skipped",
+    "td_msgs": "td_msgs",
+    "waves": "waves",
+}
+
+
+def run_process(tc) -> ProcessStats:
+    """Run the task-parallel phase for one rank (collective)."""
+    proc = tc.proc
+    shared = tc._shared
+    cfg = shared.config
+    armci = Armci.attach(proc.engine)
+    queue = shared.queues[proc.rank]
+
+    generation = shared.process_counts[proc.rank]
+    shared.process_counts[proc.rank] += 1
+    td = shared.detectors_for(generation)[proc.rank]
+    shared.active[proc.rank] = td
+
+    selector = make_victim_selector(cfg.steal_policy, proc)
+    before = {k: shared.counters.get(proc.rank, c) for k, c in _STAT_KEYS.items()}
+    armci.barrier(proc)
+    t_start = proc.now
+    time_working = 0.0
+    executed = 0
+    fail_streak = 0
+
+    try:
+        while True:
+            # Forward any pending tokens promptly, even while busy.
+            if td.progress(proc, idle=False):
+                break
+            task = queue.pop_local(proc)
+            if task is not None:
+                fail_streak = 0
+                try:
+                    fn = shared.callbacks[proc.rank][task.callback]
+                except IndexError:
+                    raise TaskCollectionError(
+                        f"rank {proc.rank}: task callback handle {task.callback} "
+                        "not registered (collective registration mismatch?)"
+                    ) from None
+                t0 = proc.now
+                fn(tc, task)
+                time_working += proc.now - t0
+                executed += 1
+                continue
+            # Local queue drained: this rank is passive.  Vote (or run the
+            # root's wave step) immediately so termination tokens move at
+            # network latency, then hunt for work.  A steal that succeeds
+            # after voting is exactly the case §5.3's dirty marking covers.
+            if td.progress(proc, idle=True):
+                break
+            if cfg.load_balancing and proc.nprocs > 1:
+                victim = selector.next_victim()
+                got = shared.queues[victim].steal_from(
+                    proc, cfg.chunk_size, probe_first=fail_streak > 0
+                )
+                selector.report(victim, bool(got))
+                if got:
+                    td.note_steal(proc, victim)
+                    queue.absorb_stolen(proc, got)
+                    fail_streak = 0
+                    continue
+                fail_streak += 1
+            # Exponential backoff between failed steals; woken early the
+            # moment a termination token lands in the mailbox.
+            backoff = min(
+                cfg.idle_backoff * (1 << min(fail_streak, 16)),
+                cfg.max_idle_backoff,
+            )
+            armci.wait_mailbox(proc, td.tag, backoff)
+    finally:
+        shared.active[proc.rank] = None
+
+    if queue.size() != 0:
+        raise TaskCollectionError(
+            f"rank {proc.rank}: termination detected with {queue.size()} "
+            "tasks still queued (protocol violation)"
+        )
+
+    stats = ProcessStats(
+        rank=proc.rank,
+        tasks_executed=executed,
+        time_total=proc.now - t_start,
+        time_working=time_working,
+    )
+    for attr, key in _STAT_KEYS.items():
+        setattr(stats, attr, int(shared.counters.get(proc.rank, key) - before[attr]))
+    return stats

@@ -1,0 +1,42 @@
+"""Per-process statistics for one ``tc_process`` phase."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcessStats"]
+
+
+@dataclass
+class ProcessStats:
+    """What one rank did during a single task-parallel phase.
+
+    ``time_total`` is the virtual time the rank spent inside
+    ``tc_process``; ``time_working`` the part spent executing task
+    callbacks; the rest is queue management, stealing, and idling.
+    """
+
+    rank: int
+    tasks_executed: int = 0
+    time_total: float = 0.0
+    time_working: float = 0.0
+    steals_attempted: int = 0
+    steals_successful: int = 0
+    tasks_stolen: int = 0
+    tasks_released: int = 0
+    tasks_reacquired: int = 0
+    dirty_msgs: int = 0
+    dirty_msgs_skipped: int = 0
+    td_msgs: int = 0
+    waves: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_overhead(self) -> float:
+        """Virtual time spent outside task callbacks."""
+        return self.time_total - self.time_working
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the phase spent executing tasks."""
+        return self.time_working / self.time_total if self.time_total > 0 else 0.0

@@ -1,0 +1,62 @@
+"""Task descriptors: a standard header wrapping an opaque user body (§2.1).
+
+A task descriptor is the unit of transfer between queues.  The header
+carries the callback handle, the task's affinity for the process it was
+placed on, and size bookkeeping; the body is an arbitrary user payload
+(the paper's "contiguous buffer", here any deep-copyable Python object).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Task", "AFFINITY_HIGH", "AFFINITY_LOW", "TASK_HEADER_BYTES"]
+
+#: Bytes of task meta-data (Figure 1's header) charged on every transfer.
+TASK_HEADER_BYTES = 64
+
+#: Convenience affinity levels matching the paper's example usage.
+AFFINITY_HIGH = 100
+AFFINITY_LOW = 0
+
+
+@dataclass
+class Task:
+    """A task descriptor.
+
+    Attributes:
+        callback: Handle returned by ``TaskCollection.register``; looked
+            up in the executing rank's local callback table at dispatch.
+        body: User-supplied arguments; any deep-copyable object.  Copied
+            on ``tc_add`` (copy-in/out semantics, §3.1) so the caller's
+            buffer is immediately reusable.
+        affinity: Priority of the task for the process it is placed on.
+            High-affinity tasks execute locally first; low-affinity tasks
+            are stolen first (§5.1).
+        body_size: Wire size of the body in bytes, used by the cost
+            model.  Defaults to the collection's ``task_size`` when added.
+        created_by: Rank that created the task (set by ``add``).
+    """
+
+    callback: int
+    body: Any = None
+    affinity: int = AFFINITY_LOW
+    body_size: int | None = None
+    created_by: int = field(default=-1, compare=False)
+
+    def wire_size(self, default_body_size: int) -> int:
+        """Total bytes moved when this descriptor is transferred."""
+        body = self.body_size if self.body_size is not None else default_body_size
+        return TASK_HEADER_BYTES + body
+
+    def clone(self) -> "Task":
+        """Deep copy, implementing the copy-in/out semantics of ``tc_add``."""
+        return Task(
+            callback=self.callback,
+            body=copy.deepcopy(self.body),
+            affinity=self.affinity,
+            body_size=self.body_size,
+            created_by=self.created_by,
+        )

@@ -1,0 +1,233 @@
+"""Wave-based distributed termination detection (§5.2-§5.3).
+
+Implements the Francez-Rodeh style algorithm the paper describes: a
+binary spanning tree is mapped onto the process space (children of rank
+``r`` are ``2r+1`` and ``2r+2``); a token wave travels down and back up
+the tree.  Tokens start white; a process colors its up-token black when
+it (or any descendant) performed a load-balancing operation since its
+last vote.  The root declares termination only when a wave returns
+all-white while it is itself passive; otherwise it launches another
+wave.
+
+Dirty marking and the votes-before optimization (§5.3)
+------------------------------------------------------
+
+Steals are one-sided, so the victim does not observe them.  To prevent
+the scenario where a thief that already cast a white vote becomes active
+again with stolen work, the thief sends the victim a *dirty mark* — an
+extra message that forces the victim's next token black.  The paper's
+optimization elides this message when it provably cannot matter:
+
+    the victim ``pv`` only needs marking if the thief ``pt`` has already
+    voted in the current wave AND NOT ``pv votes-before pt`` (i.e. ``pv``
+    is not a descendant of ``pt`` in the spanning tree).
+
+Both modes are implemented; the benchmark ``bench_ablation_termination``
+counts the messages saved.
+
+Tokens travel as one-sided messages into per-process mailboxes (how an
+ARMCI-based implementation delivers them); each scheduler iteration
+drains the mailbox, so active processes still forward down-waves
+promptly while only *passive* processes vote.
+"""
+
+from __future__ import annotations
+
+from repro.armci.runtime import Armci
+from repro.sim.engine import Engine, Proc
+from repro.sim.trace import Counters
+from repro.sim.tracing import trace
+from repro.util.errors import TaskCollectionError
+
+__all__ = ["TerminationDetector", "is_descendant", "tree_children", "tree_parent"]
+
+WHITE = 0
+BLACK = 1
+
+
+def tree_parent(rank: int) -> int:
+    """Parent of ``rank`` in the binary spanning tree (root is 0)."""
+    if rank == 0:
+        raise ValueError("root has no parent")
+    return (rank - 1) // 2
+
+
+def tree_children(rank: int, nprocs: int) -> list[int]:
+    """Children of ``rank`` in the binary spanning tree."""
+    return [c for c in (2 * rank + 1, 2 * rank + 2) if c < nprocs]
+
+
+def is_descendant(a: int, b: int) -> bool:
+    """True if ``a`` is a (proper) descendant of ``b`` in the spanning tree.
+
+    In the up-wave, descendants vote before their ancestors, so
+    ``is_descendant(a, b)`` is exactly the paper's ``a votes-before b``
+    relation for distinct ranks on one root-to-leaf path.
+    """
+    while a > b:
+        a = (a - 1) // 2
+        if a == b:
+            return True
+    return False
+
+
+class TerminationDetector:
+    """Per-rank termination-detection state for one ``tc_process`` phase.
+
+    All ranks' detectors for a phase are created together (see
+    ``TaskCollection``); thieves reach their victim's detector through
+    one-sided writes, charged through the ARMCI layer.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rank: int,
+        tag: str,
+        peers: list["TerminationDetector"],
+        optimize: bool,
+        counters: Counters,
+    ) -> None:
+        self.engine = engine
+        self.armci = Armci.attach(engine)
+        self.rank = rank
+        self.nprocs = engine.nprocs
+        self.tag = tag
+        self.peers = peers  # shared list; peers[r] is rank r's detector
+        self.optimize = optimize
+        self.counters = counters
+        self.children = tree_children(rank, self.nprocs)
+        self.parent = tree_parent(rank) if rank != 0 else None
+        self.dirty = False
+        self.voted = False
+        self.in_wave = False
+        self.wave = 0
+        self.child_tokens: dict[int, int] = {}
+        self.done = False
+
+    # ------------------------------------------------------------------ #
+    # Load-balancing hooks
+    # ------------------------------------------------------------------ #
+    def note_steal(self, proc: Proc, victim: int) -> None:
+        """Record a successful steal; possibly dirty-mark the victim (§5.3)."""
+        self.dirty = True
+        need_mark = (not self.optimize) or (
+            self.voted and not is_descendant(victim, self.rank)
+        )
+        if need_mark:
+            victim_det = self.peers[victim]
+            self.armci.put(proc, victim, 8, lambda: victim_det._mark_dirty())
+            self.counters.add(proc.rank, "dirty_msgs")
+        else:
+            self.counters.add(proc.rank, "dirty_msgs_skipped")
+
+    def note_remote_add(self, proc: Proc, target: int) -> None:
+        """Record a remote task insertion; the dirty flag piggybacks on the
+        insert message itself (no extra communication)."""
+        self.dirty = True
+        self.peers[target]._mark_dirty()
+
+    def _mark_dirty(self) -> None:
+        self.dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Progress engine
+    # ------------------------------------------------------------------ #
+    def progress(self, proc: Proc, idle: bool) -> bool:
+        """Drain pending tokens; vote / run the root wave logic when idle.
+
+        Called from the scheduler on every iteration (cheap local mailbox
+        probe while messages are absent).  Returns True once global
+        termination has been detected and propagated to this rank.
+        """
+        from repro.armci.runtime import MAILBOX_CHECK_COST
+
+        proc.advance(MAILBOX_CHECK_COST)
+        if not self.armci.mailbox_empty(proc, self.tag):
+            while True:
+                msg = self.armci.poll_mailbox(proc, self.tag)
+                if msg is None:
+                    break
+                self._handle(proc, msg[0], msg[1])
+        if self.done:
+            return True
+        if idle:
+            if self.rank == 0:
+                self._root_step(proc)
+            else:
+                self._try_vote(proc)
+        return self.done
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def _handle(self, proc: Proc, src: int, payload: tuple) -> None:
+        kind = payload[0]
+        if kind == "down":
+            _, wave = payload
+            self.wave = wave
+            self.in_wave = True
+            self.voted = False
+            self.child_tokens = {}
+            for c in self.children:
+                self._send(proc, c, ("down", wave))
+        elif kind == "up":
+            _, wave, color = payload
+            if wave != self.wave:
+                raise TaskCollectionError(
+                    f"termination protocol error: rank {self.rank} got up-token "
+                    f"for wave {wave} during wave {self.wave}"
+                )
+            self.child_tokens[src] = color
+        elif kind == "done":
+            self.done = True
+            for c in self.children:
+                self._send(proc, c, ("done",))
+        else:  # pragma: no cover - defensive
+            raise TaskCollectionError(f"unknown termination message {payload!r}")
+
+    def _send(self, proc: Proc, dest: int, payload: tuple) -> None:
+        self.counters.add(proc.rank, "td_msgs")
+        trace(proc, "td-msg", f"{payload[0]} -> rank {dest}")
+        self.armci.post(proc, dest, self.tag, payload)
+
+    # ------------------------------------------------------------------ #
+    # Voting
+    # ------------------------------------------------------------------ #
+    def _combined_color(self) -> int:
+        if self.dirty or any(c == BLACK for c in self.child_tokens.values()):
+            return BLACK
+        return WHITE
+
+    def _try_vote(self, proc: Proc) -> None:
+        """Non-root: pass the token up once passive with all child tokens."""
+        if not self.in_wave or self.voted:
+            return
+        if len(self.child_tokens) < len(self.children):
+            return
+        color = self._combined_color()
+        self.dirty = False
+        self.voted = True
+        self.in_wave = False
+        self._send(proc, self.parent, ("up", self.wave, color))
+        self.counters.add(proc.rank, "votes")
+
+    def _root_step(self, proc: Proc) -> None:
+        """Root: start waves while idle; complete them when tokens return."""
+        if not self.in_wave:
+            self.wave += 1
+            self.in_wave = True
+            self.child_tokens = {}
+            self.counters.add(proc.rank, "waves")
+            for c in self.children:
+                self._send(proc, c, ("down", self.wave))
+        if len(self.child_tokens) < len(self.children):
+            return
+        color = self._combined_color()
+        self.dirty = False
+        self.in_wave = False
+        self.child_tokens = {}
+        if color == WHITE:
+            self.done = True
+            for c in self.children:
+                self._send(proc, c, ("done",))

@@ -1,0 +1,122 @@
+"""Block distribution of dense N-d arrays over a process grid.
+
+Follows GA's default strategy: factor the process count into a grid as
+square as possible, split each dimension into contiguous near-equal
+chunks, and give each rank one rectangular patch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["BlockDistribution", "factor_grid"]
+
+
+def factor_grid(nprocs: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``nprocs`` into an ``ndims``-dimensional grid, most-square first.
+
+    Example:
+        >>> factor_grid(12, 2)
+        (4, 3)
+        >>> factor_grid(8, 3)
+        (2, 2, 2)
+    """
+    grid = [1] * ndims
+    remaining = nprocs
+    # Peel prime factors largest-first onto the currently-smallest grid dim.
+    factors: list[int] = []
+    n = remaining
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        i = int(np.argmin(grid))
+        grid[i] *= f
+    return tuple(sorted(grid, reverse=True))
+
+
+class BlockDistribution:
+    """Maps array indices to owning ranks and back.
+
+    Attributes:
+        shape: Global array shape.
+        nprocs: Number of ranks sharing the array.
+        grid: Process grid (one extent per array dimension).
+    """
+
+    def __init__(self, shape: Sequence[int], nprocs: int) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"invalid shape {shape!r}")
+        self.nprocs = nprocs
+        self.grid = factor_grid(nprocs, len(self.shape))
+        # Per-dimension chunk boundaries, e.g. [0, 3, 6, 8] for extent 8 / grid 3.
+        self._bounds: list[np.ndarray] = []
+        for extent, g in zip(self.shape, self.grid):
+            # np.array_split semantics: first chunks one element larger.
+            base, rem = divmod(extent, g)
+            sizes = [base + (1 if i < rem else 0) for i in range(g)]
+            self._bounds.append(np.cumsum([0] + sizes))
+
+    # ------------------------------------------------------------------ #
+    def _grid_coords(self, rank: int) -> tuple[int, ...]:
+        return tuple(int(c) for c in np.unravel_index(rank, self.grid))
+
+    def rank_of_coords(self, coords: Sequence[int]) -> int:
+        return int(np.ravel_multi_index(tuple(coords), self.grid))
+
+    def patch(self, rank: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Return the ``(lo, hi)`` patch owned by ``rank`` (hi exclusive).
+
+        Ranks beyond the grid own empty patches (GA allows nprocs that do
+        not factor perfectly; here the grid always covers all ranks).
+        """
+        coords = self._grid_coords(rank)
+        lo = tuple(int(self._bounds[d][c]) for d, c in enumerate(coords))
+        hi = tuple(int(self._bounds[d][c + 1]) for d, c in enumerate(coords))
+        return lo, hi
+
+    def locate(self, index: Sequence[int]) -> int:
+        """Rank owning element ``index``."""
+        coords = []
+        for d, i in enumerate(index):
+            if not 0 <= i < self.shape[d]:
+                raise IndexError(f"index {tuple(index)} out of bounds for {self.shape}")
+            coords.append(int(np.searchsorted(self._bounds[d], i, side="right")) - 1)
+        return self.rank_of_coords(coords)
+
+    def patches_intersecting(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> Iterator[tuple[int, tuple[tuple[int, ...], tuple[int, ...]]]]:
+        """Yield ``(rank, (plo, phi))`` for each owner patch overlapping [lo, hi).
+
+        ``(plo, phi)`` is the overlapping sub-box in global coordinates.
+        """
+        lo = tuple(int(x) for x in lo)
+        hi = tuple(int(x) for x in hi)
+        for d in range(len(self.shape)):
+            if not (0 <= lo[d] and lo[d] < hi[d] <= self.shape[d]):
+                raise IndexError(f"patch [{lo}, {hi}) out of bounds for {self.shape}")
+        # per-dim range of grid coordinates touched
+        coord_ranges = []
+        for d in range(len(self.shape)):
+            c_lo = int(np.searchsorted(self._bounds[d], lo[d], side="right")) - 1
+            c_hi = int(np.searchsorted(self._bounds[d], hi[d] - 1, side="right")) - 1
+            coord_ranges.append(range(c_lo, c_hi + 1))
+        for coords in np.ndindex(*[len(r) for r in coord_ranges]):
+            gcoords = tuple(coord_ranges[d][coords[d]] for d in range(len(coords)))
+            rank = self.rank_of_coords(gcoords)
+            plo = tuple(
+                max(lo[d], int(self._bounds[d][gcoords[d]])) for d in range(len(gcoords))
+            )
+            phi = tuple(
+                min(hi[d], int(self._bounds[d][gcoords[d] + 1])) for d in range(len(gcoords))
+            )
+            yield rank, (plo, phi)

@@ -1,0 +1,11 @@
+"""MPI-like two-sided messaging layer over the simulator.
+
+Only what the baselines need: eager send, blocking receive, ``iprobe``
+polling, and a dissemination barrier.  The explicit polling this model
+requires of work-stealing victims is precisely the overhead Scioto's
+one-sided design eliminates (§6.3 of the paper).
+"""
+
+from repro.mpi.p2p import ANY_SOURCE, ANY_TAG, Mpi
+
+__all__ = ["Mpi", "ANY_SOURCE", "ANY_TAG"]

@@ -1,0 +1,404 @@
+"""Deterministic discrete-event engine with threads-as-coroutines processes.
+
+The engine runs ``nprocs`` simulated processes.  Each process executes a
+plain (blocking-style) Python function on its own OS thread, but the
+engine only ever lets **one** thread run at a time: the process whose
+virtual clock is smallest.  This gives us the best of both worlds:
+
+* Runtime and application code reads exactly like the paper's C API —
+  ordinary function calls, no generators or callbacks.
+* Execution is fully deterministic: events are ordered by
+  ``(virtual time, insertion sequence)``, so a given seed always produces
+  the same interleaving, the same steal pattern, and the same timings.
+
+Time model
+----------
+
+Each process carries a local virtual clock (``proc.now``, in seconds).
+Pure computation is charged *lazily* with :meth:`Proc.advance` — no
+context switch.  Any access to state shared between processes must first
+call :meth:`Proc.sync`, which re-enqueues the process at its current
+clock and hands control back to the engine; the engine then resumes
+whichever process is earliest.  This serializes all shared-state
+accesses in global virtual-time order, which is exactly the guarantee a
+sequentially-consistent PGAS machine provides.
+
+Blocking primitives (mutex acquire, message receive) use
+:meth:`Proc.park`: the process suspends without scheduling a wake-up and
+another process later calls :meth:`Engine.wake` on it.  If every
+remaining process is parked, the engine raises
+:class:`~repro.util.errors.SimDeadlockError` naming the blocked
+processes — protocol bugs fail loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sim.machines import MachineSpec, uniform_cluster
+from repro.util.errors import SimDeadlockError, SimLimitError, SimShutdown
+
+__all__ = ["Engine", "Proc", "SimResult", "run_spmd"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of a completed simulation run.
+
+    Attributes:
+        elapsed: Virtual time at which the last process finished (seconds).
+        finish_times: Per-rank virtual finish times.
+        events: Number of engine scheduling events processed.
+        returns: Per-rank return values of the main functions.
+    """
+
+    elapsed: float
+    finish_times: list[float]
+    events: int
+    returns: list[Any]
+
+
+class Proc:
+    """One simulated process (rank) inside an :class:`Engine`.
+
+    Application and runtime code receives a ``Proc`` as its handle to the
+    simulated machine: it exposes the rank, the virtual clock, the
+    per-rank RNG stream, and the blocking primitives the communication
+    layers are built from.  User code normally only touches ``rank``,
+    ``nprocs``, ``now``, ``rng`` and :meth:`compute`.
+    """
+
+    def __init__(self, engine: Engine, rank: int, rng: np.random.Generator) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.rng = rng
+        self.finished = False
+        self.blocked_at: str | None = None  # description of park site, for deadlock msgs
+        self._gen = 0  # resume generation; stale heap entries are skipped
+        self._clock = 0.0
+        self._go = threading.Semaphore(0)
+        self._wake_payload: Any = None
+        self._exc: BaseException | None = None
+        self._result: Any = None
+        self._thread: threading.Thread | None = None
+        # Free-form per-process scratch used by the comm layers to attach
+        # per-rank state (mailboxes, registered regions, ...).
+        self.state: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nprocs(self) -> int:
+        """Total number of simulated processes."""
+        return self.engine.nprocs
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of this process, in seconds."""
+        return self._clock
+
+    @property
+    def machine(self) -> MachineSpec:
+        """The machine model this simulation runs on."""
+        return self.engine.machine
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Proc rank={self.rank} now={self._clock:.9f} finished={self.finished}>"
+
+    # ------------------------------------------------------------------ #
+    # Time primitives
+    # ------------------------------------------------------------------ #
+    def advance(self, seconds: float) -> None:
+        """Charge ``seconds`` of local activity to this process's clock.
+
+        Lazy: does not yield to the engine.  Must be followed by
+        :meth:`sync` before the next shared-state access.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time {seconds!r}")
+        self._clock += seconds
+
+    def compute(self, reference_seconds: float) -> None:
+        """Charge CPU work expressed in *reference-machine* seconds.
+
+        The machine model scales the cost by this rank's relative speed,
+        which is how heterogeneous (Opteron/Xeon) clusters are modelled.
+        """
+        self.advance(reference_seconds * self.engine.machine.cpu_factor(self.rank))
+
+    def sync(self) -> None:
+        """Yield to the engine; resume when this process is globally earliest.
+
+        Every operation that reads or writes state shared with another
+        process must call this first so that all such operations happen
+        in virtual-time order.
+        """
+        self.engine._schedule(self, self._clock, None)
+        self._handoff()
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` and yield to the engine."""
+        self.advance(seconds)
+        self.sync()
+
+    def park(self, where: str = "park") -> Any:
+        """Suspend until another process calls :meth:`Engine.wake` on us.
+
+        Args:
+            where: Human-readable description of the blocking site,
+                reported if the simulation deadlocks.
+
+        Returns:
+            The payload passed to :meth:`Engine.wake`.
+        """
+        self.blocked_at = where
+        self.engine._parked += 1
+        self._handoff()
+        return self._wake_payload
+
+    def park_until(self, wake_time: float, where: str = "park_until") -> Any:
+        """Suspend until ``wake_time`` or an earlier :meth:`Engine.wake`.
+
+        Models a polling loop without per-poll event cost: the process
+        resumes the moment something wakes it (e.g. a mailbox post) or at
+        the timeout, whichever comes first.  Returns the wake payload, or
+        None on timeout.
+        """
+        self.blocked_at = where
+        self.engine._parked += 1
+        self.engine._schedule(self, wake_time, None)
+        self._handoff()
+        return self._wake_payload
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _handoff(self) -> None:
+        """Give control back to the engine thread and wait to be resumed."""
+        self.engine._done.release()
+        self._go.acquire()
+        if self.engine._shutdown:
+            raise SimShutdown()
+
+    def _thread_main(self, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
+        self._go.acquire()
+        if self.engine._shutdown:
+            self.finished = True
+            self.engine._done.release()
+            return
+        try:
+            self._result = fn(self, *args)
+        except SimShutdown:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - surfaced by Engine.run
+            self._exc = exc
+        finally:
+            self.finished = True
+            self.engine._done.release()
+
+
+class Engine:
+    """Deterministic virtual-time scheduler for simulated processes.
+
+    Typical use goes through :func:`run_spmd`; construct an ``Engine``
+    directly only when ranks need distinct main functions or when the
+    caller wants to inspect the engine after the run.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineSpec | None = None,
+        seed: int = 0,
+        max_events: int | None = None,
+        max_time: float | None = None,
+    ) -> None:
+        """Create an engine.
+
+        Args:
+            nprocs: Number of simulated processes (ranks ``0..nprocs-1``).
+            machine: Machine model; defaults to a homogeneous cluster.
+            seed: Root seed; each rank gets an independent child stream.
+            max_events: Abort with :class:`SimLimitError` after this many
+                scheduling events (livelock guard for tests).
+            max_time: Abort once virtual time exceeds this many seconds.
+        """
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.machine = machine if machine is not None else uniform_cluster(nprocs)
+        self.machine.validate(nprocs)
+        self.seed = seed
+        self.max_events = max_events
+        self.max_time = max_time
+        self.events = 0
+        streams = np.random.SeedSequence(seed).spawn(nprocs)
+        self.procs = [Proc(self, r, np.random.default_rng(streams[r])) for r in range(nprocs)]
+        self._heap: list[tuple[float, int, int]] = []  # (time, seq, rank)
+        self._seq = itertools.count()
+        self._done = threading.Semaphore(0)
+        self._shutdown = False
+        self._started = False
+        self._parked = 0
+        # Global shared-state namespace used by comm layers (keyed by layer).
+        self.state: dict[str, Any] = {}
+        self._mains: list[tuple[Callable[..., Any], tuple[Any, ...]] | None] = [None] * nprocs
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def spawn(self, rank: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Assign the main function for ``rank``; called before :meth:`run`."""
+        if self._started:
+            raise RuntimeError("cannot spawn after run() started")
+        self._mains[rank] = (fn, args)
+
+    def spawn_all(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Assign the same main function to every rank (SPMD style)."""
+        for r in range(self.nprocs):
+            self.spawn(r, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling internals
+    # ------------------------------------------------------------------ #
+    def _schedule(self, proc: Proc, time: float, payload: Any) -> None:
+        proc._wake_payload = payload
+        heapq.heappush(self._heap, (time, next(self._seq), proc.rank, proc._gen))
+
+    def wake(self, proc: Proc, time: float, payload: Any = None) -> None:
+        """Wake a parked process at virtual ``time`` with ``payload``.
+
+        The waker's clock is typically ``time`` or earlier; the wakee's
+        clock is advanced to at least ``time`` when it resumes.  If the
+        process was parked with a timeout (:meth:`Proc.park_until`), the
+        pending timeout entry becomes stale and is skipped.
+        """
+        if proc.blocked_at is None:
+            raise RuntimeError(f"wake() on non-parked {proc!r}")
+        self._schedule(proc, time, payload)
+
+    @property
+    def current(self) -> Proc:
+        """The process currently executing (valid only during :meth:`run`)."""
+        return self._current
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimResult:
+        """Run the simulation to completion and return a :class:`SimResult`.
+
+        Raises:
+            SimDeadlockError: If all unfinished processes are parked.
+            SimLimitError: If ``max_events``/``max_time`` is exceeded.
+            Exception: Any exception raised inside a simulated process is
+                re-raised here (after shutting the other threads down).
+        """
+        if self._started:
+            raise RuntimeError("Engine.run() may only be called once")
+        self._started = True
+        for rank, main in enumerate(self._mains):
+            if main is None:
+                raise RuntimeError(f"rank {rank} has no main function; call spawn()")
+        for proc, (fn, args) in zip(self.procs, self._mains):
+            proc._thread = threading.Thread(
+                target=proc._thread_main,
+                args=(fn, args),
+                name=f"simproc-{proc.rank}",
+                daemon=True,
+            )
+            proc._thread.start()
+            self._schedule(proc, 0.0, None)
+
+        active = self.nprocs
+        finish_times = [0.0] * self.nprocs
+        try:
+            while active:
+                if not self._heap:
+                    blocked = ", ".join(
+                        f"rank {p.rank} at {p.blocked_at!r} (t={p.now * 1e6:.3f}us)"
+                        for p in self.procs
+                        if not p.finished
+                    )
+                    raise SimDeadlockError(
+                        f"no runnable process; {active} still active: {blocked}"
+                    )
+                time, _seq, rank, gen = heapq.heappop(self._heap)
+                proc = self.procs[rank]
+                if proc.finished or gen != proc._gen:
+                    continue  # stale entry: already resumed since scheduling
+                proc._gen += 1
+                if proc.blocked_at is not None:
+                    proc.blocked_at = None
+                    self._parked -= 1
+                self.events += 1
+                if self.max_events is not None and self.events > self.max_events:
+                    raise SimLimitError(f"exceeded max_events={self.max_events}")
+                if self.max_time is not None and time > self.max_time:
+                    raise SimLimitError(
+                        f"virtual time {time:.6f}s exceeded max_time={self.max_time}s"
+                    )
+                proc._clock = max(proc._clock, time)
+                self._current = proc
+                proc._go.release()
+                self._done.acquire()
+                if proc._exc is not None:
+                    raise proc._exc
+                if proc.finished:
+                    active -= 1
+                    finish_times[proc.rank] = proc.now
+        finally:
+            self._teardown()
+        elapsed = max(finish_times) if finish_times else 0.0
+        return SimResult(
+            elapsed=elapsed,
+            finish_times=finish_times,
+            events=self.events,
+            returns=[p._result for p in self.procs],
+        )
+
+    def _teardown(self) -> None:
+        """Unwind any still-running process threads via :class:`SimShutdown`."""
+        self._shutdown = True
+        for proc in self.procs:
+            if proc._thread is None:
+                continue
+            while not proc.finished:
+                proc._go.release()
+                self._done.acquire()
+            proc._thread.join(timeout=5.0)
+
+
+def run_spmd(
+    nprocs: int,
+    main: Callable[..., Any],
+    *args: Any,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    max_events: int | None = None,
+    max_time: float | None = None,
+) -> SimResult:
+    """Run ``main(proc, *args)`` on every rank and return the result.
+
+    This is the standard entry point: it mirrors launching an SPMD job
+    with ``mpirun -np nprocs``.
+
+    Example:
+        >>> def hello(proc):
+        ...     proc.compute(1e-6)
+        ...     return proc.rank
+        >>> result = run_spmd(4, hello)
+        >>> result.returns
+        [0, 1, 2, 3]
+    """
+    eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events, max_time=max_time)
+    eng.spawn_all(main, *args)
+    return eng.run()

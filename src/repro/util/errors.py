@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific exceptions derive from :class:`ReproError` so callers
+can catch everything from this library with one handler.  Simulator control
+flow uses :class:`SimShutdown`, which derives from ``BaseException`` on
+purpose: it must not be swallowed by application-level ``except Exception``
+blocks inside simulated processes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimError(ReproError):
+    """Base class for simulator errors."""
+
+
+class SimDeadlockError(SimError):
+    """The simulation cannot make progress.
+
+    Raised by the engine when no process is runnable but at least one
+    process has not finished (i.e. every remaining process is parked
+    waiting for a wake-up that can never arrive).  The message lists the
+    parked processes and where they blocked, which makes protocol bugs
+    (lost wake-ups, circular lock waits) easy to diagnose in tests.
+    """
+
+
+class SimLimitError(SimError):
+    """A configured simulation limit (events or virtual time) was exceeded.
+
+    Used as a safety net in tests so that a livelocked protocol fails fast
+    instead of hanging the test suite.
+    """
+
+
+class SimShutdown(BaseException):
+    """Internal signal used to unwind simulated process threads.
+
+    Raised inside a process thread when the engine tears the simulation
+    down (either normally or after another process raised).  Never leaks
+    out of :meth:`repro.sim.engine.Engine.run`.
+    """
+
+
+class CommError(ReproError):
+    """Error in the communication substrate (armci / mpi / ga layers)."""
+
+
+class TaskCollectionError(ReproError):
+    """Misuse of the Scioto task-collection API."""

@@ -1,0 +1,41 @@
+"""Plain-text table and unit formatting for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and readable without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_us(seconds: float, digits: int = 4) -> str:
+    """Render a duration in seconds as microseconds, e.g. ``18.0819us``."""
+    return f"{seconds * 1e6:.{digits}f}us"
+
+
+def format_rate(per_second: float) -> str:
+    """Render a rate as millions per second, e.g. ``63.1 M/s``."""
+    return f"{per_second / 1e6:.2f} M/s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Result records produced by the benchmark harness.
+
+Every experiment in ``repro.bench`` returns structured records so that
+tests can assert on shapes (who wins, where crossovers fall) and the
+report generator can print paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured data point of an experiment.
+
+    Attributes:
+        experiment: Experiment id, e.g. ``"figure7"``.
+        config: Configuration label, e.g. ``"scioto-split"``.
+        x: Sweep variable (typically the process count).
+        value: Measured value in ``unit``.
+        unit: Unit string, e.g. ``"nodes/s"`` or ``"us"``.
+        extra: Free-form auxiliary measurements (message counts, steals...).
+    """
+
+    experiment: str
+    config: str
+    x: float
+    value: float
+    unit: str
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """A named series of (x, y) points, one line of a paper figure."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+    unit: str = ""
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def y_at(self, x: float) -> float:
+        """Return the y value recorded at sweep point ``x``."""
+        return self.ys[self.xs.index(x)]
+
+
+@dataclass
+class SweepResult:
+    """All series of one figure/table plus free-form notes."""
+
+    experiment: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def get(self, label: str) -> Series:
+        """Return the series with the given label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in {self.experiment}")
+
+    def labels(self) -> list[str]:
+        return [s.label for s in self.series]

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def spmd(nprocs, main, *args, machine=None, seed=0, max_events=2_000_000, max_time=None):
+    """Run an SPMD main across ``nprocs`` simulated ranks with a livelock guard."""
+    eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events, max_time=max_time)
+    eng.spawn_all(main, *args)
+    return eng, eng.run()
+
+
+@pytest.fixture
+def run_sim():
+    """Fixture returning the :func:`spmd` helper."""
+    return spmd

@@ -1,0 +1,72 @@
+"""Tests for the application command-line drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.scf.__main__ import main as scf_main
+from repro.apps.tce.__main__ import main as tce_main
+from repro.apps.uts.__main__ import main as uts_main
+
+
+class TestUtsCli:
+    def test_default_run(self, capsys):
+        rc = uts_main(["--nprocs", "4", "--gen-mx", "8", "--root-seed", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Mnodes/s" in out
+        assert "tree:" in out
+
+    def test_mpi_impl(self, capsys):
+        rc = uts_main(["--nprocs", "3", "--impl", "mpi", "--gen-mx", "8",
+                       "--root-seed", "6"])
+        assert rc == 0
+        assert "mpi on 3" in capsys.readouterr().out
+
+    def test_binomial_and_flags(self, capsys):
+        rc = uts_main([
+            "--nprocs", "3", "--tree", "binomial", "--b0", "10",
+            "--q", "0.1", "--m", "4", "--no-split", "--steal-policy", "ring",
+        ])
+        assert rc == 0
+
+    def test_wait_free_flag(self, capsys):
+        rc = uts_main(["--nprocs", "3", "--gen-mx", "8", "--root-seed", "6",
+                       "--wait-free"])
+        assert rc == 0
+
+
+class TestScfCli:
+    def test_verified_run(self, capsys):
+        rc = scf_main(["--nprocs", "3", "--nblocks", "8", "--blocksize", "4",
+                       "--iters", "2", "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches sequential reference: True" in out
+
+    def test_original_scheduler(self, capsys):
+        rc = scf_main(["--nprocs", "2", "--nblocks", "8", "--blocksize", "4",
+                       "--iters", "1", "--scheduler", "original"])
+        assert rc == 0
+        assert "original" in capsys.readouterr().out
+
+
+class TestTceCli:
+    def test_verified_run(self, capsys):
+        rc = tce_main(["--nprocs", "3", "--nblocks", "6", "--blocksize", "8",
+                       "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches dense reference: True" in out
+
+    def test_counter_scheduler_reports_claims(self, capsys):
+        rc = tce_main(["--nprocs", "2", "--nblocks", "6", "--blocksize", "8",
+                       "--scheduler", "original"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "counter claims 2" in out or "counter claims" in out
+
+    def test_roundrobin_placement(self, capsys):
+        rc = tce_main(["--nprocs", "3", "--nblocks", "6", "--blocksize", "8",
+                       "--placement", "roundrobin"])
+        assert rc == 0

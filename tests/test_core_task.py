@@ -1,0 +1,60 @@
+"""Tests for task descriptors and configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SciotoConfig
+from repro.core.task import AFFINITY_HIGH, AFFINITY_LOW, TASK_HEADER_BYTES, Task
+
+
+class TestTask:
+    def test_wire_size_uses_body_size_when_set(self):
+        t = Task(callback=0, body_size=100)
+        assert t.wire_size(1024) == TASK_HEADER_BYTES + 100
+
+    def test_wire_size_defaults_to_collection_task_size(self):
+        t = Task(callback=0)
+        assert t.wire_size(1024) == TASK_HEADER_BYTES + 1024
+
+    def test_clone_deep_copies_body(self):
+        body = {"block": [1, 2, 3]}
+        t = Task(callback=1, body=body, affinity=AFFINITY_HIGH)
+        c = t.clone()
+        body["block"].append(4)
+        assert c.body == {"block": [1, 2, 3]}
+        assert c.callback == 1
+        assert c.affinity == AFFINITY_HIGH
+
+    def test_affinity_constants_ordered(self):
+        assert AFFINITY_HIGH > AFFINITY_LOW
+
+
+class TestSciotoConfig:
+    def test_defaults_match_paper(self):
+        cfg = SciotoConfig()
+        assert cfg.split_queues is True
+        assert cfg.load_balancing is True
+        assert cfg.chunk_size == 10
+        assert cfg.termination_opt is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 0},
+            {"release_fraction": 0.0},
+            {"release_fraction": 1.5},
+            {"reacquire_fraction": -0.1},
+            {"idle_backoff": -1e-6},
+            {"max_idle_backoff": 1e-7},
+            {"steal_policy": "psychic"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SciotoConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = SciotoConfig()
+        with pytest.raises(Exception):
+            cfg.chunk_size = 5  # type: ignore[misc]

@@ -1,0 +1,71 @@
+"""Tests for the machine cost models and the paper's §6.3 constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.machines import (
+    OPTERON_NS_PER_UTS_NODE,
+    XEON_NS_PER_UTS_NODE,
+    XT4_NS_PER_UTS_NODE,
+    cray_xt4,
+    heterogeneous_cluster,
+    uniform_cluster,
+)
+
+
+def test_paper_per_node_costs_encoded():
+    assert OPTERON_NS_PER_UTS_NODE == pytest.approx(0.3158e-6)
+    assert XEON_NS_PER_UTS_NODE == pytest.approx(0.4753e-6)
+    assert XT4_NS_PER_UTS_NODE == pytest.approx(0.5681e-6)
+
+
+def test_heterogeneous_cluster_alternates_cpu_types():
+    m = heterogeneous_cluster(8)
+    assert m.cpu_factor(0) == 1.0
+    assert m.cpu_factor(1) == pytest.approx(0.4753 / 0.3158)
+    assert m.cpu_factor(2) == 1.0
+    # paper §6.3: a 50% difference in UTS performance between node types
+    assert m.cpu_factor(1) / m.cpu_factor(0) == pytest.approx(1.505, abs=0.01)
+
+
+def test_work_time_reproduces_uts_per_node_costs():
+    het = heterogeneous_cluster(2)
+    assert het.work_time(0, 1) == pytest.approx(0.3158e-6)
+    assert het.work_time(1, 1) == pytest.approx(0.4753e-6)
+    assert cray_xt4(4).work_time(3, 1) == pytest.approx(0.5681e-6)
+
+
+def test_xt4_slower_network_than_cluster():
+    cl, xt = uniform_cluster(4), cray_xt4(4)
+    assert xt.latency > cl.latency
+    assert xt.get_time(1024) > cl.get_time(1024)
+    assert xt.local_copy_time(1024) > cl.local_copy_time(1024)
+
+
+def test_get_costs_more_than_put():
+    m = uniform_cluster(2)
+    assert m.get_time(1024) > m.put_time(1024)
+
+
+def test_validate_rejects_too_few_factors():
+    m = heterogeneous_cluster(4)
+    with pytest.raises(ValueError):
+        m.validate(8)
+    m.validate(4)  # ok
+    uniform_cluster(4).validate(1000)  # uniform works at any size
+
+
+def test_replace_produces_modified_copy():
+    m = uniform_cluster(4)
+    m2 = m.replace(latency=1e-6)
+    assert m2.latency == 1e-6
+    assert m.latency != 1e-6
+    assert m2.net_bandwidth == m.net_bandwidth
+
+
+def test_lock_and_unlock_costs():
+    m = uniform_cluster(2)
+    assert m.lock_time() == pytest.approx(2 * m.latency)
+    assert m.unlock_time() == pytest.approx(m.latency)
+    assert m.rmw_time() == pytest.approx(2 * m.latency + m.rmw_overhead)

@@ -1,0 +1,186 @@
+"""Tests for the inter-task dependency extension (paper §8 future work)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Task, TaskCollection
+from repro.core.graph import TaskGraph
+from repro.sim.engine import Engine
+from repro.util.errors import TaskCollectionError
+
+
+def _run(nprocs, main, *args, seed=0, max_events=3_000_000):
+    eng = Engine(nprocs, seed=seed, max_events=max_events)
+    eng.spawn_all(main, *args)
+    return eng.run()
+
+
+def _build_diamond(tg, log, lock):
+    def step(tc, task):
+        tc.proc.compute(1e-6)
+        with lock:
+            log.append(task.body)
+
+    tg.add("a", step, body="a")
+    tg.add("b", step, body="b", deps=["a"])
+    tg.add("c", step, body="c", deps=["a"])
+    tg.add("d", step, body="d", deps=["b", "c"])
+
+
+class TestTaskGraph:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_diamond_respects_order(self, nprocs):
+        log: list[str] = []
+        lock = threading.Lock()
+
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+            _build_diamond(tg, log, lock)
+            tg.process()
+
+        _run(nprocs, main)
+        assert sorted(log) == ["a", "b", "c", "d"]
+        assert log[0] == "a"
+        assert log[-1] == "d"
+
+    def test_chain_executes_in_order(self):
+        log: list[int] = []
+
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+
+            def step(tc_, task):
+                log.append(task.body)
+
+            for i in range(10):
+                deps = [f"t{i-1}"] if i else []
+                tg.add(f"t{i}", step, body=i, deps=deps)
+            tg.process()
+
+        _run(3, main)
+        assert log == list(range(10))
+
+    def test_independent_tasks_spread_over_ranks(self):
+        ran_on: set[int] = set()
+
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+
+            def step(tc_, task):
+                tc_.proc.compute(5e-6)
+                ran_on.add(tc_.rank)
+
+            for i in range(40):
+                tg.add(f"t{i}", step)
+            tg.process()
+
+        _run(4, main)
+        assert len(ran_on) >= 3, f"hash placement engaged only {ran_on}"
+
+    def test_explicit_rank_placement(self):
+        homes: list[tuple[str, int]] = []
+
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+
+            def step(tc_, task):
+                homes.append((task.body, tc_.rank))
+
+            # no stealing pressure: chains serialize, so tasks run at home
+            tg.add("x", step, body="x", rank=1)
+            tg.add("y", step, body="y", deps=["x"], rank=2)
+            tg.process()
+
+        _run(3, main)
+        assert dict(homes) == {"x": 1, "y": 2}
+
+    def test_cycle_detected(self):
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+            fn = lambda tc_, t: None
+            tg.add("a", fn, deps=["b"])
+            tg.add("b", fn, deps=["a"])
+            tg.process()
+
+        with pytest.raises(TaskCollectionError, match="cycle"):
+            _run(2, main)
+
+    def test_unknown_dependency_rejected(self):
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+            tg.add("a", lambda tc_, t: None, deps=["ghost"])
+            tg.process()
+
+        with pytest.raises(TaskCollectionError, match="unknown task"):
+            _run(1, main)
+
+    def test_duplicate_name_rejected(self):
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+            tg.add("a", lambda tc_, t: None)
+            tg.add("a", lambda tc_, t: None)
+
+        with pytest.raises(TaskCollectionError, match="duplicate"):
+            _run(1, main)
+
+    def test_add_after_process_rejected(self):
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+            tg.add("a", lambda tc_, t: None)
+            tg.process()
+            tg.add("late", lambda tc_, t: None)
+
+        with pytest.raises(TaskCollectionError, match="after process"):
+            _run(1, main)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 5000),
+        nprocs=st.integers(1, 6),
+        n=st.integers(2, 24),
+        edge_prob=st.floats(0.05, 0.5),
+    )
+    def test_random_dags_respect_all_edges(self, seed, nprocs, n, edge_prob):
+        """Property: in any random DAG, every task runs exactly once and
+        strictly after all of its dependencies."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        deps: dict[int, list[int]] = {
+            i: [j for j in range(i) if rng.random() < edge_prob] for i in range(n)
+        }
+        order: list[int] = []
+        lock = threading.Lock()
+
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+
+            def step(tc_, task):
+                tc_.proc.compute(float(task.body % 3 + 1) * 1e-6)
+                with lock:
+                    order.append(task.body)
+
+            for i in range(n):
+                tg.add(f"t{i}", step, body=i, deps=[f"t{j}" for j in deps[i]])
+            tg.process()
+
+        _run(nprocs, main, seed=seed)
+        assert sorted(order) == list(range(n))
+        pos = {t: k for k, t in enumerate(order)}
+        for i, ds in deps.items():
+            for j in ds:
+                assert pos[j] < pos[i], f"t{j} must precede t{i}"

@@ -1,0 +1,79 @@
+"""Tests for formatting helpers and result records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.format import format_rate, format_table, format_us
+from repro.util.records import ExperimentRecord, Series, SweepResult
+
+
+class TestFormat:
+    def test_format_us(self):
+        assert format_us(18.0819e-6) == "18.0819us"
+        assert format_us(0.5e-6, digits=2) == "0.50us"
+
+    def test_format_rate(self):
+        assert format_rate(63_100_000) == "63.10 M/s"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a    bbbb")
+        assert all(len(l) >= 6 for l in lines[2:])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestRecords:
+    def test_series_add_and_lookup(self):
+        s = Series(label="l", unit="us")
+        s.add(2, 10.0)
+        s.add(4, 20.0)
+        assert s.y_at(4) == 20.0
+        with pytest.raises(ValueError):
+            s.y_at(8)
+
+    def test_sweep_get_by_label(self):
+        r = SweepResult(experiment="e", series=[Series(label="a"), Series(label="b")])
+        assert r.get("b").label == "b"
+        assert r.labels() == ["a", "b"]
+        with pytest.raises(KeyError):
+            r.get("c")
+
+    def test_experiment_record_defaults(self):
+        rec = ExperimentRecord("figure7", "scioto", 64, 72.0, "Mnodes/s")
+        assert rec.extra == {}
+
+
+class TestBenchHarness:
+    def test_scale_resolution(self, monkeypatch):
+        from repro.bench.harness import scale
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale() == "quick"
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale() == "full"
+        assert scale("quick") == "quick"  # explicit override wins
+        with pytest.raises(ValueError):
+            scale("huge")
+
+    def test_sweep_procs(self):
+        from repro.bench.harness import sweep_procs
+
+        assert sweep_procs("quick", max_quick=16) == [2, 4, 8, 16]
+        assert sweep_procs("full", max_full=64) == [2, 4, 8, 16, 32, 64]
+
+    def test_render_mixed_xs(self):
+        from repro.bench.report import render
+
+        a = Series(label="a", unit="u")
+        a.add(2, 1.0)
+        b = Series(label="b")
+        b.add(4, 2.0)
+        text = render(SweepResult(experiment="e", series=[a, b], notes=["n"]))
+        assert "-" in text  # missing points rendered as dash
+        assert "note: n" in text

@@ -1,0 +1,134 @@
+"""Tests for the UTS benchmark: tree determinism and parallel correctness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.uts import (
+    UTSParams,
+    count_tree,
+    root_node,
+    run_uts_mpi,
+    run_uts_scioto,
+)
+from repro.apps.uts.tree import children_of, num_children
+from repro.core import SciotoConfig
+from repro.sim.machines import heterogeneous_cluster
+
+SMALL = UTSParams(b0=4.0, gen_mx=8, root_seed=6)  # a few hundred nodes
+
+
+class TestTree:
+    def test_tree_is_deterministic(self):
+        a = count_tree(SMALL)
+        b = count_tree(SMALL)
+        assert (a.nodes, a.leaves, a.max_depth) == (b.nodes, b.leaves, b.max_depth)
+        assert a.nodes > 50
+
+    def test_children_deterministic_and_distinct(self):
+        root = root_node(UTSParams(b0=8.0, root_seed=17))
+        kids = children_of(UTSParams(b0=8.0, root_seed=17), root)
+        assert len({k.digest for k in kids}) == len(kids)
+        assert all(k.depth == 1 for k in kids)
+
+    def test_geometric_depth_bounded(self):
+        p = UTSParams(b0=4.0, gen_mx=5, root_seed=17)
+        assert count_tree(p).max_depth <= 5
+
+    def test_different_seeds_different_trees(self):
+        a = count_tree(UTSParams(gen_mx=8, root_seed=1))
+        b = count_tree(UTSParams(gen_mx=8, root_seed=2))
+        assert a.nodes != b.nodes
+
+    def test_binomial_tree(self):
+        p = UTSParams(tree_type="binomial", b0=8, q=0.12, m=4, root_seed=3)
+        stats = count_tree(p, max_nodes=100_000)
+        assert stats.nodes >= 9  # root + b0 children at least
+        assert stats.leaves > 0
+
+    def test_binomial_supercritical_rejected(self):
+        with pytest.raises(ValueError, match="supercritical"):
+            UTSParams(tree_type="binomial", q=0.3, m=4)
+
+    def test_unknown_tree_type_rejected(self):
+        with pytest.raises(ValueError):
+            UTSParams(tree_type="fibonacci")
+
+    def test_max_nodes_guard(self):
+        with pytest.raises(ValueError, match="max_nodes"):
+            count_tree(UTSParams(b0=4.0, gen_mx=14, root_seed=17), max_nodes=100)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_leaves_consistent_with_nodes(self, seed):
+        p = UTSParams(b0=3.0, gen_mx=6, root_seed=seed)
+        stats = count_tree(p, max_nodes=50_000)
+        assert 1 <= stats.leaves <= stats.nodes
+
+    def test_num_children_zero_beyond_gen_mx(self):
+        p = UTSParams(b0=4.0, gen_mx=3)
+        deep = root_node(p)
+        deep = type(deep)(digest=deep.digest, depth=3)
+        assert num_children(p, deep) == 0
+
+
+class TestParallelUTS:
+    @pytest.mark.parametrize("nprocs", [1, 2, 5])
+    def test_scioto_counts_match_sequential(self, nprocs):
+        ref = count_tree(SMALL)
+        r = run_uts_scioto(nprocs, SMALL, seed=2, max_events=3_000_000)
+        assert (r.stats.nodes, r.stats.leaves, r.stats.max_depth) == (
+            ref.nodes,
+            ref.leaves,
+            ref.max_depth,
+        )
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 5])
+    def test_mpi_counts_match_sequential(self, nprocs):
+        ref = count_tree(SMALL)
+        r = run_uts_mpi(nprocs, SMALL, seed=2, max_events=3_000_000)
+        assert (r.stats.nodes, r.stats.leaves, r.stats.max_depth) == (
+            ref.nodes,
+            ref.leaves,
+            ref.max_depth,
+        )
+
+    def test_binomial_parallel(self):
+        p = UTSParams(tree_type="binomial", b0=12, q=0.12, m=4, root_seed=5)
+        ref = count_tree(p, max_nodes=100_000)
+        r = run_uts_scioto(4, p, seed=0, max_events=5_000_000)
+        assert r.stats.nodes == ref.nodes
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000), nprocs=st.integers(2, 6))
+    def test_scioto_exact_under_random_seeds(self, seed, nprocs):
+        ref = count_tree(SMALL)
+        r = run_uts_scioto(nprocs, SMALL, seed=seed, max_events=3_000_000)
+        assert r.stats.nodes == ref.nodes
+
+    def test_no_split_config_still_correct(self):
+        ref = count_tree(SMALL)
+        r = run_uts_scioto(
+            4, SMALL, seed=1, config=SciotoConfig(split_queues=False),
+            max_events=5_000_000,
+        )
+        assert r.stats.nodes == ref.nodes
+
+    def test_heterogeneous_machine_faster_ranks_do_more(self):
+        big = UTSParams(b0=4.0, gen_mx=10, root_seed=17)
+        r = run_uts_scioto(
+            4, big, machine=heterogeneous_cluster(4), seed=1, max_events=10_000_000
+        )
+        # Opteron ranks (even) are ~1.5x faster; with good load balancing
+        # they should execute measurably more tasks than Xeon ranks (odd).
+        fast = r.per_rank[0].tasks_executed + r.per_rank[2].tasks_executed
+        slow = r.per_rank[1].tasks_executed + r.per_rank[3].tasks_executed
+        assert fast > slow * 1.15
+
+    def test_throughput_and_steals_reported(self):
+        r = run_uts_scioto(3, SMALL, seed=4, max_events=3_000_000)
+        assert r.throughput > 0
+        assert r.elapsed > 0
+        assert r.total_steals >= 1

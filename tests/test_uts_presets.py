@@ -1,0 +1,35 @@
+"""Tests for the named UTS instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.uts import count_tree, run_uts_scioto
+from repro.apps.uts.presets import EXPECTED_NODES, PRESETS, preset
+
+
+def test_preset_lookup():
+    assert preset("small").gen_mx == 10
+    with pytest.raises(KeyError, match="unknown UTS preset"):
+        preset("gigantic")
+
+
+@pytest.mark.parametrize("name", ["tiny", "small", "binomial"])
+def test_preset_node_counts_exact(name):
+    stats = count_tree(preset(name), max_nodes=1_000_000)
+    assert stats.nodes == EXPECTED_NODES[name]
+
+
+def test_binomial_preset_is_deep_and_unbalanced():
+    stats = count_tree(preset("binomial"), max_nodes=1_000_000)
+    assert stats.max_depth > 50, "binomial preset should be much deeper than geometric"
+    # leaves dominate: the signature of a near-critical binomial tree
+    assert stats.leaves / stats.nodes > 0.6
+
+
+def test_binomial_preset_parallel_exact():
+    p = preset("binomial")
+    ref = EXPECTED_NODES["binomial"]
+    r = run_uts_scioto(6, p, seed=2, max_events=10_000_000)
+    assert r.stats.nodes == ref
+    assert r.total_steals > 0, "deep chains must force stealing"
