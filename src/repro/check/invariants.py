@@ -1,0 +1,300 @@
+"""Protocol invariants checked against the simulation event stream.
+
+Checkers are post-hoc: the runner attaches a :class:`~repro.sim.tracing.Tracer`
+to the engine, runs one schedule, and hands the recorded event list to
+each checker.  Because the tracer appends events at the protocol's
+linearization points (queue mutations inside the one-sided closures,
+mutex grants, the root's termination declaration), *list order* is the
+global serialization order of the run — checkers reason over it without
+re-executing anything.
+
+Event vocabulary (emitted by hook points in ``core``/``sim``):
+
+==============  =====================================================
+kind            detail
+==============  =====================================================
+``task-add``    uid of the queued descriptor (``tc_add`` clone)
+``task-exec``   uid, recorded at dispatch
+``q-push``      ``(owner, uid)`` — owner local enqueue
+``q-pop``       ``(owner, uid)`` — owner local dequeue
+``q-steal``     ``(victim, (uid, ...))`` — removal at the victim
+``q-absorb``    ``(thief, (uid, ...))`` — deposit into thief's queue
+``q-add-remote``  ``(owner, uid)`` — remote insert at effect time
+``mutex-acq``   mutex name, recorded at grant
+``mutex-rel``   mutex name, recorded at release
+``td-done``     wave number, recorded when the root declares
+``graph-node``  task-graph node name, recorded at dispatch
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.tracing import TraceEvent
+
+__all__ = [
+    "Violation",
+    "CheckContext",
+    "InvariantChecker",
+    "ExactlyOnce",
+    "NoEarlyTermination",
+    "QueueConsistency",
+    "MutexBalance",
+    "GraphDependencyOrder",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found in a run's event stream."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.invariant}] {self.message}"
+
+
+@dataclass
+class CheckContext:
+    """Per-scenario facts the checkers need beyond the event stream.
+
+    Attributes:
+        capacity: Per-rank queue capacity (None disables the bound check).
+        expect_complete: Whether every added task must have executed by
+            the end of the run (True for ``tc_process`` workloads; False
+            for open-ended queue stress where tasks may legally remain
+            queued or in flight at the end).
+        dag: ``{node: (dep, ...)}`` for task-graph scenarios.
+    """
+
+    capacity: int | None = None
+    expect_complete: bool = True
+    dag: dict[str, tuple[str, ...]] | None = None
+
+
+class InvariantChecker:
+    """Base checker: examine an event stream, return violations."""
+
+    name = "invariant"
+
+    def check(self, events: list[TraceEvent], ctx: CheckContext) -> list[Violation]:
+        raise NotImplementedError
+
+    def _v(self, message: str) -> Violation:
+        return Violation(self.name, message)
+
+
+class ExactlyOnce(InvariantChecker):
+    """Every added task executes exactly once (and, when the workload runs
+    to termination, at least once) — the paper's core safety property."""
+
+    name = "exactly-once"
+
+    def check(self, events: list[TraceEvent], ctx: CheckContext) -> list[Violation]:
+        out: list[Violation] = []
+        added: set[int] = set()
+        execs: dict[int, int] = {}
+        for e in events:
+            if e.kind == "task-add":
+                if e.detail in added:
+                    out.append(self._v(f"task uid {e.detail} added twice"))
+                added.add(e.detail)
+            elif e.kind == "task-exec":
+                execs[e.detail] = execs.get(e.detail, 0) + 1
+        for uid, n in execs.items():
+            if n > 1:
+                out.append(self._v(f"task uid {uid} executed {n} times"))
+            if uid not in added:
+                out.append(self._v(f"task uid {uid} executed but never added"))
+        if ctx.expect_complete:
+            missing = sorted(added - set(execs))
+            if missing:
+                out.append(
+                    self._v(
+                        f"{len(missing)} added task(s) never executed "
+                        f"(uids {missing[:8]}{'...' if len(missing) > 8 else ''})"
+                    )
+                )
+        return out
+
+
+class NoEarlyTermination(InvariantChecker):
+    """The root may declare termination only after all work is done: no
+    task dispatch may appear after a ``td-done`` event in serialization
+    order (§5.2's safety direction)."""
+
+    name = "no-early-termination"
+
+    def check(self, events: list[TraceEvent], ctx: CheckContext) -> list[Violation]:
+        out: list[Violation] = []
+        done_at: int | None = None
+        for i, e in enumerate(events):
+            if e.kind == "td-done" and done_at is None:
+                done_at = i
+            elif e.kind == "task-exec" and done_at is not None:
+                out.append(
+                    self._v(
+                        f"task uid {e.detail} dispatched on rank {e.rank} after "
+                        f"termination was declared (event {i} > done at {done_at})"
+                    )
+                )
+        if ctx.expect_complete and done_at is None and any(
+            e.kind == "task-exec" for e in events
+        ):
+            out.append(self._v("run ended without a termination declaration"))
+        return out
+
+
+class QueueConsistency(InvariantChecker):
+    """Split-queue state machine: every descriptor is in exactly one place.
+
+    Replays the queue events against a per-uid location automaton
+    (``queued@rank`` → ``popped`` / ``in-flight@thief`` → ``queued@thief``)
+    and flags any transition the protocol forbids: popping or stealing a
+    descriptor that is not in that queue, absorbing one that was never
+    reserved, or a queue exceeding its capacity.  This is the list-storage
+    analogue of the paper's head/split/tail index consistency — an index
+    race shows up here as a descriptor that is lost (popped from nowhere)
+    or duplicated (alive in two places).
+    """
+
+    name = "queue-consistency"
+
+    def check(self, events: list[TraceEvent], ctx: CheckContext) -> list[Violation]:
+        out: list[Violation] = []
+        loc: dict[int, tuple[str, int]] = {}  # uid -> ("queued"|"inflight", rank)
+        counts: dict[int, int] = {}  # rank -> descriptors currently queued
+
+        def enqueue(uid: int, rank: int, what: str) -> None:
+            if uid in loc:
+                state, r = loc[uid]
+                out.append(
+                    self._v(
+                        f"{what} of uid {uid} into rank {rank} queue while it is "
+                        f"already {state} at rank {r} (duplicated descriptor)"
+                    )
+                )
+                return
+            loc[uid] = ("queued", rank)
+            counts[rank] = counts.get(rank, 0) + 1
+            if ctx.capacity is not None and counts[rank] > ctx.capacity:
+                out.append(
+                    self._v(
+                        f"rank {rank} queue holds {counts[rank]} descriptors, "
+                        f"capacity {ctx.capacity}"
+                    )
+                )
+
+        def dequeue(uid: int, rank: int, what: str) -> bool:
+            state = loc.get(uid)
+            if state != ("queued", rank):
+                out.append(
+                    self._v(
+                        f"{what} of uid {uid} from rank {rank} queue but it is "
+                        f"{'absent' if state is None else f'{state[0]} at rank {state[1]}'}"
+                        " (lost or duplicated descriptor)"
+                    )
+                )
+                return False
+            del loc[uid]
+            counts[rank] -= 1
+            return True
+
+        for e in events:
+            if e.kind == "q-push":
+                owner, uid = e.detail
+                enqueue(uid, owner, "push")
+            elif e.kind == "q-add-remote":
+                owner, uid = e.detail
+                enqueue(uid, owner, "remote add")
+            elif e.kind == "q-pop":
+                owner, uid = e.detail
+                dequeue(uid, owner, "pop")
+            elif e.kind == "q-steal":
+                victim, uids = e.detail
+                for uid in uids:
+                    if dequeue(uid, victim, "steal"):
+                        loc[uid] = ("inflight", e.rank)
+            elif e.kind == "q-absorb":
+                thief, uids = e.detail
+                for uid in uids:
+                    state = loc.get(uid)
+                    if state != ("inflight", thief):
+                        out.append(
+                            self._v(
+                                f"absorb of uid {uid} at rank {thief} but it is "
+                                f"{'absent' if state is None else f'{state[0]} at rank {state[1]}'}"
+                            )
+                        )
+                        continue
+                    del loc[uid]
+                    enqueue(uid, thief, "absorb")
+        return out
+
+
+class MutexBalance(InvariantChecker):
+    """Mutex acquire/release balance: grants alternate with releases by
+    the same rank, and every mutex ends the run free."""
+
+    name = "mutex-balance"
+
+    def check(self, events: list[TraceEvent], ctx: CheckContext) -> list[Violation]:
+        out: list[Violation] = []
+        holder: dict[str, int] = {}  # mutex name -> rank holding it
+        for e in events:
+            if e.kind == "mutex-acq":
+                if e.detail in holder:
+                    out.append(
+                        self._v(
+                            f"mutex {e.detail!r} granted to rank {e.rank} while "
+                            f"held by rank {holder[e.detail]}"
+                        )
+                    )
+                holder[e.detail] = e.rank
+            elif e.kind == "mutex-rel":
+                if holder.get(e.detail) != e.rank:
+                    out.append(
+                        self._v(
+                            f"mutex {e.detail!r} released by rank {e.rank} which "
+                            "does not hold it"
+                        )
+                    )
+                holder.pop(e.detail, None)
+        for name, rank in sorted(holder.items()):
+            out.append(self._v(f"mutex {name!r} still held by rank {rank} at end"))
+        return out
+
+
+class GraphDependencyOrder(InvariantChecker):
+    """TaskGraph: a node dispatches only after all its dependencies, and
+    each declared node runs exactly once."""
+
+    name = "graph-deps"
+
+    def check(self, events: list[TraceEvent], ctx: CheckContext) -> list[Violation]:
+        if ctx.dag is None:
+            return []
+        out: list[Violation] = []
+        seen: dict[str, int] = {}
+        for i, e in enumerate(events):
+            if e.kind != "graph-node":
+                continue
+            name = e.detail
+            if name in seen:
+                out.append(self._v(f"graph node {name!r} dispatched twice"))
+            seen[name] = i
+            for dep in ctx.dag.get(name, ()):
+                if dep not in seen or seen[dep] >= i:
+                    out.append(
+                        self._v(
+                            f"graph node {name!r} dispatched before its "
+                            f"dependency {dep!r}"
+                        )
+                    )
+        if ctx.expect_complete:
+            missing = sorted(set(ctx.dag) - set(seen))
+            if missing:
+                out.append(self._v(f"graph nodes never executed: {missing}"))
+        return out

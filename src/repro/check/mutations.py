@@ -1,0 +1,104 @@
+"""Intentional protocol bugs, for validating the checker itself.
+
+A model checker that has never caught a bug is indistinguishable from
+one that cannot.  Each mutation here re-introduces a realistic race the
+real protocol guards against — applied temporarily via monkey-patching
+so the shipped protocol code stays untouched — and the test suite (and
+``--mutate`` CLI flag) asserts that schedule exploration catches it and
+produces a minimized, replayable trace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+from repro.core.queue import SplitQueue
+from repro.core.termination import TerminationDetector
+
+__all__ = ["MUTATIONS", "apply_mutation"]
+
+
+@contextlib.contextmanager
+def unlocked_split() -> Iterator[None]:
+    """Skip the split-pointer lock on the owner's reacquire move.
+
+    The correct protocol adjusts the private/shared split under the queue
+    mutex (or a reservation atomic in wait-free mode), so the move is
+    atomic with respect to thieves.  This mutation performs the move as a
+    read, a yield to the scheduler, then a write — the classic TOCTOU
+    window: a thief that steals between the read and the write leaves the
+    owner re-inserting descriptors that are already in flight, i.e. a
+    duplicated task.  Caught by ``queue-consistency`` / ``exactly-once``.
+    """
+    orig = SplitQueue._reacquire
+
+    def racy_reacquire(self: SplitQueue, proc) -> None:
+        if not self._shared:
+            return
+        k = max(1, int(len(self._shared) * self.config.reacquire_fraction))
+        moved = self._shared[:k]  # read the split window ...
+        # ... unlocked, and spanning several scheduler yields — the
+        # window a real one-sided metadata read/update pair leaves open
+        for _ in range(3):
+            proc.sleep(self.engine.machine.local_lock_overhead)
+        self._private.extend(moved)
+        del self._shared[:k]  # stale write-back of the split pointer
+        self.counters.add(proc.rank, "reacquire_ops")
+        self.counters.add(proc.rank, "tasks_reacquired", k)
+
+    SplitQueue._reacquire = racy_reacquire
+    try:
+        yield
+    finally:
+        SplitQueue._reacquire = orig
+
+
+@contextlib.contextmanager
+def no_dirty_mark() -> Iterator[None]:
+    """Drop §5.3's dirty marking entirely on steals.
+
+    Without it a thief that already voted white can acquire work the
+    detector never hears about, so the root can declare termination while
+    stolen tasks are still queued.  Caught by ``no-early-termination`` /
+    ``exactly-once`` (or by the scheduler's own protocol assertion).
+
+    Use the ``steals`` target to catch this one: in workloads that also
+    do remote adds, the add's piggybacked dirty mark (a separate,
+    unmutated mechanism) blackens the victim's vote and the run
+    self-heals on almost every schedule.
+    """
+    orig = TerminationDetector.note_steal
+
+    def silent_note_steal(self: TerminationDetector, proc, victim: int) -> None:
+        self.counters.add(proc.rank, "dirty_msgs_skipped")
+
+    TerminationDetector.note_steal = silent_note_steal
+    try:
+        yield
+    finally:
+        TerminationDetector.note_steal = orig
+
+
+@contextlib.contextmanager
+def no_mutation() -> Iterator[None]:
+    yield
+
+
+#: CLI names for the available mutations.
+MUTATIONS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
+    "none": no_mutation,
+    "unlocked_split": unlocked_split,
+    "no_dirty_mark": no_dirty_mark,
+}
+
+
+def apply_mutation(name: str | None) -> contextlib.AbstractContextManager:
+    """Context manager applying mutation ``name`` (None/"none" = no-op)."""
+    key = name if name is not None else "none"
+    try:
+        return MUTATIONS[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {key!r}; choose from {sorted(MUTATIONS)}"
+        ) from None

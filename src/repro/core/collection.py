@@ -32,6 +32,7 @@ from repro.core.task import Task
 from repro.core.termination import TerminationDetector
 from repro.sim.engine import Engine, Proc
 from repro.sim.trace import Counters
+from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["TaskCollection"]
@@ -242,6 +243,7 @@ class TaskCollection:
         t.created_by = self.rank
         if affinity is not None:
             t.affinity = affinity
+        trace(self.proc, "task-add", t.uid)
         if dest == self.rank:
             self._shared.queues[dest].push_local(self.proc, t)
         else:

@@ -33,6 +33,7 @@ from repro.armci.runtime import Armci
 from repro.core.collection import TaskCollection
 from repro.core.stats import ProcessStats
 from repro.core.task import AFFINITY_HIGH, Task
+from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["TaskGraph"]
@@ -188,6 +189,7 @@ class TaskGraph:
 
     def _run_node(self, tc: TaskCollection, task: Task) -> None:
         node = self._nodes[task.body]
+        trace(tc.proc, "graph-node", node.name)
         user_task = Task(callback=self._handle, body=node.body, affinity=node.affinity)
         node.fn(tc, user_task)
         armci = Armci.attach(tc.proc.engine)

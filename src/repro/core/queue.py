@@ -132,6 +132,7 @@ class SplitQueue:
             proc.sync()
             self._check_capacity(1)
             self._insert_by_affinity(self._private, task)
+            trace(proc, "q-push", (self.owner, task.uid))
             self._maybe_release(proc)
         else:
             self.mutex.acquire(proc)
@@ -139,6 +140,7 @@ class SplitQueue:
             proc.sync()
             self._check_capacity(1)
             self._insert_by_affinity(self._shared, task)
+            trace(proc, "q-push", (self.owner, task.uid))
             self.mutex.release(proc)
 
     def pop_local(self, proc: Proc) -> Task | None:
@@ -154,6 +156,7 @@ class SplitQueue:
             if not self._private:
                 return None
             task = self._private.pop(0)
+            trace(proc, "q-pop", (self.owner, task.uid))
             proc.advance(m.local_copy_time(self._wire(task)))
             self.counters.add(proc.rank, "local_pop")
             self._maybe_release(proc)
@@ -163,6 +166,7 @@ class SplitQueue:
         proc.sync()
         task = self._shared.pop(0) if self._shared else None
         if task is not None:
+            trace(proc, "q-pop", (self.owner, task.uid))
             proc.advance(m.local_copy_time(self._wire(task)))
             self.counters.add(proc.rank, "local_pop")
         self.mutex.release(proc)
@@ -263,6 +267,8 @@ class SplitQueue:
             k = min(want, len(self._shared))
             taken = self._shared[len(self._shared) - k :]
             del self._shared[len(self._shared) - k :]
+            if taken:
+                trace(proc, "q-steal", (self.owner, tuple(t.uid for t in taken)))
             return taken
 
         probe_k = min(want, len(self._shared))
@@ -294,6 +300,8 @@ class SplitQueue:
             k = min(want, len(self._shared))
             taken = self._shared[len(self._shared) - k :]
             del self._shared[len(self._shared) - k :]
+            if taken:
+                trace(proc, "q-steal", (self.owner, tuple(t.uid for t in taken)))
             return taken
 
         tasks = self.armci.rmw(proc, self.owner, _reserve)
@@ -326,6 +334,7 @@ class SplitQueue:
         region = self._private if self.config.split_queues else self._shared
         region.extend(tasks)
         region.sort(key=lambda t: -t.affinity)  # stable merge; mostly sorted
+        trace(proc, "q-absorb", (self.owner, tuple(t.uid for t in tasks)))
         if self.config.split_queues:
             self._maybe_release(proc)
 
@@ -344,6 +353,7 @@ class SplitQueue:
         def _insert() -> None:
             self._check_capacity(1)
             self._insert_by_affinity(self._shared, task)
+            trace(proc, "q-add-remote", (self.owner, task.uid))
 
         if self.config.wait_free_steals:
             # reserve a slot with one atomic, then put the descriptor

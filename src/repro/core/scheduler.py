@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.armci.runtime import Armci
 from repro.core.stats import ProcessStats
 from repro.core.stealing import make_victim_selector
+from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["run_process"]
@@ -68,6 +69,7 @@ def run_process(tc) -> ProcessStats:
                         "not registered (collective registration mismatch?)"
                     ) from None
                 t0 = proc.now
+                trace(proc, "task-exec", task.uid)
                 fn(tc, task)
                 time_working += proc.now - t0
                 executed += 1

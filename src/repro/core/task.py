@@ -9,10 +9,13 @@ placed on, and size bookkeeping; the body is an arbitrary user payload
 from __future__ import annotations
 
 import copy
+import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["Task", "AFFINITY_HIGH", "AFFINITY_LOW", "TASK_HEADER_BYTES"]
+
+_uid_counter = itertools.count(1)
 
 #: Bytes of task meta-data (Figure 1's header) charged on every transfer.
 TASK_HEADER_BYTES = 64
@@ -38,6 +41,11 @@ class Task:
         body_size: Wire size of the body in bytes, used by the cost
             model.  Defaults to the collection's ``task_size`` when added.
         created_by: Rank that created the task (set by ``add``).
+        uid: Process-wide unique identity of this descriptor instance.
+            ``clone`` allocates a fresh uid, so the instance queued by
+            ``tc_add`` is distinguishable from the caller's buffer — this
+            is what the ``repro.check`` invariants (exactly-once
+            execution, queue consistency) track through the event stream.
     """
 
     callback: int
@@ -45,6 +53,9 @@ class Task:
     affinity: int = AFFINITY_LOW
     body_size: int | None = None
     created_by: int = field(default=-1, compare=False)
+    uid: int = field(
+        default_factory=lambda: next(_uid_counter), compare=False, repr=False
+    )
 
     def wire_size(self, default_body_size: int) -> int:
         """Total bytes moved when this descriptor is transferred."""

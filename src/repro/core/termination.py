@@ -229,5 +229,6 @@ class TerminationDetector:
         self.child_tokens = {}
         if color == WHITE:
             self.done = True
+            trace(proc, "td-done", self.wave)
             for c in self.children:
                 self._send(proc, c, ("done",))

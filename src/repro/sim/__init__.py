@@ -6,7 +6,7 @@ work stealing, termination waves) execute unmodified.  See
 ``DESIGN.md`` for the substitution rationale.
 """
 
-from repro.sim.engine import Engine, Proc, SimResult, run_spmd
+from repro.sim.engine import Engine, Proc, SchedulingStrategy, SimResult, run_spmd
 from repro.sim.machines import (
     MachineSpec,
     cray_xt4,
@@ -20,6 +20,7 @@ from repro.sim.tracing import Tracer, TraceEvent, trace
 __all__ = [
     "Engine",
     "Proc",
+    "SchedulingStrategy",
     "SimResult",
     "run_spmd",
     "MachineSpec",

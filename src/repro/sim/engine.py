@@ -45,7 +45,54 @@ import numpy as np
 from repro.sim.machines import MachineSpec, uniform_cluster
 from repro.util.errors import SimDeadlockError, SimLimitError, SimShutdown
 
-__all__ = ["Engine", "Proc", "SimResult", "run_spmd"]
+__all__ = ["Engine", "Proc", "SchedulingStrategy", "SimResult", "run_spmd"]
+
+
+class SchedulingStrategy:
+    """Pluggable policy for the engine's scheduling decision points.
+
+    The engine consults its strategy at four points: every :meth:`Proc.sync`
+    and :meth:`Engine.wake` (latency injection via :meth:`delay`), every
+    :meth:`Proc.park` (:meth:`on_park`, bookkeeping only), and — when
+    :attr:`explores` is True — every resume decision (:meth:`choose`).
+
+    The base class is the **deterministic** strategy: it injects no delay
+    and leaves resume selection to the engine's ``(virtual time, insertion
+    sequence)`` heap order, reproducing the engine's historical behaviour
+    bit-for-bit.  Schedule-exploration strategies (``repro.check``) set
+    ``explores = True`` and override :meth:`choose` to steer the simulation
+    through adversarial interleavings.
+    """
+
+    #: When True the engine materializes the full runnable set each event
+    #: and asks :meth:`choose`; when False it uses the fast heap-pop path.
+    explores: bool = False
+
+    def begin(self, engine: "Engine") -> None:
+        """Called once at the start of :meth:`Engine.run`."""
+        self.engine = engine
+
+    def choose(self, candidates: list[tuple[float, int, int, int]]) -> int:
+        """Pick the next event among ``candidates`` (one per runnable rank).
+
+        ``candidates`` holds ``(time, seq, rank, gen)`` heap entries sorted
+        in the engine's default order; return the index to resume next.
+        Only called when ``explores`` is True and at least two processes
+        are runnable.
+        """
+        return 0
+
+    def delay(self, proc: "Proc", site: str) -> float:
+        """Extra virtual latency (seconds) to inject at ``site``.
+
+        ``site`` is ``"sync"`` (a process yielding at a shared-state
+        access) or ``"wake"`` (a wake-up being delivered).  The default
+        injects nothing.
+        """
+        return 0.0
+
+    def on_park(self, proc: "Proc", where: str) -> None:
+        """Called when a process parks (blocking primitive)."""
 
 
 @dataclass
@@ -139,8 +186,12 @@ class Proc:
 
         Every operation that reads or writes state shared with another
         process must call this first so that all such operations happen
-        in virtual-time order.
+        in virtual-time order.  (Under an exploring strategy, "earliest"
+        becomes "whichever runnable process the strategy picks".)
         """
+        strat = self.engine.strategy
+        if strat is not None:
+            self._clock += strat.delay(self, "sync")
         self.engine._schedule(self, self._clock, None)
         self._handoff()
 
@@ -161,6 +212,9 @@ class Proc:
         """
         self.blocked_at = where
         self.engine._parked += 1
+        strat = self.engine.strategy
+        if strat is not None:
+            strat.on_park(self, where)
         self._handoff()
         return self._wake_payload
 
@@ -174,6 +228,9 @@ class Proc:
         """
         self.blocked_at = where
         self.engine._parked += 1
+        strat = self.engine.strategy
+        if strat is not None:
+            strat.on_park(self, where)
         self.engine._schedule(self, wake_time, None)
         self._handoff()
         return self._wake_payload
@@ -220,6 +277,7 @@ class Engine:
         seed: int = 0,
         max_events: int | None = None,
         max_time: float | None = None,
+        strategy: SchedulingStrategy | None = None,
     ) -> None:
         """Create an engine.
 
@@ -230,10 +288,15 @@ class Engine:
             max_events: Abort with :class:`SimLimitError` after this many
                 scheduling events (livelock guard for tests).
             max_time: Abort once virtual time exceeds this many seconds.
+            strategy: Scheduling strategy consulted at the engine's
+                decision points; None (default) and any strategy with
+                ``explores = False`` reproduce the historical
+                deterministic ``(time, seq)`` order bit-for-bit.
         """
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
+        self.strategy = strategy
         self.machine = machine if machine is not None else uniform_cluster(nprocs)
         self.machine.validate(nprocs)
         self.seed = seed
@@ -242,7 +305,7 @@ class Engine:
         self.events = 0
         streams = np.random.SeedSequence(seed).spawn(nprocs)
         self.procs = [Proc(self, r, np.random.default_rng(streams[r])) for r in range(nprocs)]
-        self._heap: list[tuple[float, int, int]] = []  # (time, seq, rank)
+        self._heap: list[tuple[float, int, int, int]] = []  # (time, seq, rank, gen)
         self._seq = itertools.count()
         self._done = threading.Semaphore(0)
         self._shutdown = False
@@ -283,12 +346,57 @@ class Engine:
         """
         if proc.blocked_at is None:
             raise RuntimeError(f"wake() on non-parked {proc!r}")
+        if self.strategy is not None:
+            time += self.strategy.delay(proc, "wake")
         self._schedule(proc, time, payload)
 
     @property
     def current(self) -> Proc:
         """The process currently executing (valid only during :meth:`run`)."""
         return self._current
+
+    def _next_event(self) -> tuple[float, int, int, int] | None:
+        """Select the next (time, seq, rank, gen) entry to resume, or None.
+
+        With no strategy (or a non-exploring one) this is the historical
+        fast path: pop the heap minimum, skipping stale entries.  An
+        exploring strategy instead sees the full runnable set — the
+        earliest live entry of every runnable process — and picks one;
+        this is the decision point schedule exploration drives.
+        """
+        strat = self.strategy
+        if strat is None or not strat.explores:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                proc = self.procs[entry[2]]
+                if proc.finished or entry[3] != proc._gen:
+                    continue  # stale entry: already resumed since scheduling
+                return entry
+            return None
+        live: list[tuple[float, int, int, int]] = []
+        best: dict[int, tuple[float, int, int, int]] = {}
+        for entry in self._heap:
+            proc = self.procs[entry[2]]
+            if proc.finished or entry[3] != proc._gen:
+                continue
+            live.append(entry)
+            cur = best.get(entry[2])
+            if cur is None or entry < cur:
+                best[entry[2]] = entry
+        if not best:
+            self._heap.clear()
+            return None
+        candidates = sorted(best.values())
+        idx = strat.choose(candidates) if len(candidates) > 1 else 0
+        if not 0 <= idx < len(candidates):
+            raise RuntimeError(
+                f"strategy chose index {idx} among {len(candidates)} candidates"
+            )
+        chosen = candidates[idx]
+        live.remove(chosen)
+        self._heap = live
+        heapq.heapify(self._heap)
+        return chosen
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -305,6 +413,8 @@ class Engine:
         if self._started:
             raise RuntimeError("Engine.run() may only be called once")
         self._started = True
+        if self.strategy is not None:
+            self.strategy.begin(self)
         for rank, main in enumerate(self._mains):
             if main is None:
                 raise RuntimeError(f"rank {rank} has no main function; call spawn()")
@@ -322,19 +432,22 @@ class Engine:
         finish_times = [0.0] * self.nprocs
         try:
             while active:
-                if not self._heap:
+                entry = self._next_event()
+                if entry is None:
+                    parked = [
+                        (p.rank, p.blocked_at) for p in self.procs if not p.finished
+                    ]
                     blocked = ", ".join(
                         f"rank {p.rank} at {p.blocked_at!r} (t={p.now * 1e6:.3f}us)"
                         for p in self.procs
                         if not p.finished
                     )
                     raise SimDeadlockError(
-                        f"no runnable process; {active} still active: {blocked}"
+                        f"no runnable process; {active} still active: {blocked}",
+                        parked=parked,
                     )
-                time, _seq, rank, gen = heapq.heappop(self._heap)
+                time, _seq, rank, gen = entry
                 proc = self.procs[rank]
-                if proc.finished or gen != proc._gen:
-                    continue  # stale entry: already resumed since scheduling
                 proc._gen += 1
                 if proc.blocked_at is not None:
                     proc.blocked_at = None
@@ -385,6 +498,7 @@ def run_spmd(
     seed: int = 0,
     max_events: int | None = None,
     max_time: float | None = None,
+    strategy: SchedulingStrategy | None = None,
 ) -> SimResult:
     """Run ``main(proc, *args)`` on every rank and return the result.
 
@@ -399,6 +513,13 @@ def run_spmd(
         >>> result.returns
         [0, 1, 2, 3]
     """
-    eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events, max_time=max_time)
+    eng = Engine(
+        nprocs,
+        machine=machine,
+        seed=seed,
+        max_events=max_events,
+        max_time=max_time,
+        strategy=strategy,
+    )
     eng.spawn_all(main, *args)
     return eng.run()

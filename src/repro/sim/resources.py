@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
+from repro.sim.tracing import trace
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine, Proc
 
@@ -56,6 +58,7 @@ class SimMutex:
             self._waiters.append(proc)
             proc.park(f"mutex {self.name}@{self.host_rank}")
             assert self.holder is proc
+        trace(proc, "mutex-acq", self.name)
         self.acquires += 1
 
     def release(self, proc: Proc) -> None:
@@ -64,6 +67,7 @@ class SimMutex:
             raise RuntimeError(f"rank {proc.rank} released {self.name} it does not hold")
         proc.advance(self._release_cost(proc))
         proc.sync()
+        trace(proc, "mutex-rel", self.name)
         if self._waiters:
             nxt = self._waiters.popleft()
             self.holder = nxt

@@ -26,7 +26,16 @@ class SimDeadlockError(SimError):
     waiting for a wake-up that can never arrive).  The message lists the
     parked processes and where they blocked, which makes protocol bugs
     (lost wake-ups, circular lock waits) easy to diagnose in tests.
+
+    Attributes:
+        parked: ``[(rank, blocked_at), ...]`` for every unfinished
+            process, in rank order.  Lets tools (``repro.check``) compare
+            deadlocks structurally instead of parsing the message.
     """
+
+    def __init__(self, message: str, parked: list[tuple[int, str | None]] | None = None):
+        super().__init__(message)
+        self.parked = parked if parked is not None else []
 
 
 class SimLimitError(SimError):

@@ -1,0 +1,213 @@
+"""End-to-end tests for the explore / persist / replay / minimize loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.invariants import CheckContext
+from repro.check.runner import explore, replay, run_once
+from repro.check.scenarios import SCENARIOS, Scenario, make_scenario
+from repro.check.strategies import RandomWalk, ReplayStrategy
+from repro.check.traces import DecisionTrace, minimize_decisions
+from repro.sim.resources import SimMutex
+
+
+class TestCleanExploration:
+    def test_queue_survives_exploration(self, tmp_path):
+        res = explore("queue", schedules=30, seed=0, out_dir=tmp_path)
+        assert res.ok
+        assert res.schedules_run == 30
+        assert list(tmp_path.iterdir()) == []  # no failures -> no trace files
+
+    def test_graph_survives_exploration(self, tmp_path):
+        res = explore("graph", schedules=15, seed=0, out_dir=tmp_path)
+        assert res.ok
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            explore("nonsense", schedules=1)
+
+
+class TestMutationCaught:
+    def test_unlocked_split_caught_and_minimized(self, tmp_path):
+        """The acceptance bar from the issue: a queue with the split-move
+        lock removed must be caught within 500 schedules, and the failure
+        must come back as a minimized, replayable trace."""
+        res = explore(
+            "queue",
+            schedules=500,
+            seed=0,
+            mutation="unlocked_split",
+            out_dir=tmp_path,
+        )
+        assert not res.ok
+        failure = res.failures[0]
+        assert failure.outcome.signature[0] == "invariants"
+        assert "queue-consistency" in failure.outcome.signature[1]
+        assert failure.replay_confirmed
+        assert failure.trace_path is not None and failure.trace_path.exists()
+        assert failure.minimized_path is not None and failure.minimized_path.exists()
+        assert failure.decisions_minimized <= failure.decisions_total
+
+        # the minimized trace still reproduces the same failure class
+        min_trace = DecisionTrace.load(failure.minimized_path)
+        outcome = replay(min_trace)
+        assert outcome.signature_json == min_trace.signature
+
+    def test_without_mutation_same_seeds_are_clean(self, tmp_path):
+        res = explore("queue", schedules=50, seed=0, out_dir=tmp_path)
+        assert res.ok
+
+    def test_no_dirty_mark_caught_on_steal_workload(self, tmp_path):
+        """Dropping §5.3's steal marking lets the root terminate early;
+        the steal-only scenario exposes it at low depth."""
+        res = explore(
+            "steals",
+            schedules=100,
+            seed=0,
+            mutation="no_dirty_mark",
+            out_dir=tmp_path,
+        )
+        assert not res.ok
+        failure = res.failures[0]
+        kind = failure.outcome.signature[0]
+        assert kind in ("invariants", "error")
+        if kind == "invariants":
+            assert set(failure.outcome.signature[1]) & {
+                "no-early-termination",
+                "exactly-once",
+            }
+        assert failure.replay_confirmed
+
+
+class DeadlockScenario(Scenario):
+    """Two mutexes acquired in opposite orders, staggered so the default
+    schedule completes but adversarial interleavings deadlock."""
+
+    name = "deadlock-demo"
+    nprocs = 2
+    max_events = 50_000
+
+    def build(self, engine):
+        a = SimMutex(engine, 0, "A")
+        b = SimMutex(engine, 1, "B")
+
+        def main(proc):
+            if proc.rank == 1:
+                # default order: rank 0 completes both (remote) acquires
+                # before rank 1 wakes; only reordered schedules deadlock
+                proc.sleep(40e-6)
+            first, second = (a, b) if proc.rank == 0 else (b, a)
+            first.acquire(proc)
+            proc.sleep(1e-6)
+            second.acquire(proc)
+            second.release(proc)
+            first.release(proc)
+
+        engine.spawn_all(main)
+        return CheckContext(expect_complete=False)
+
+    def checkers(self):
+        return []
+
+
+@pytest.fixture
+def deadlock_target():
+    SCENARIOS["deadlock-demo"] = DeadlockScenario
+    try:
+        yield "deadlock-demo"
+    finally:
+        del SCENARIOS["deadlock-demo"]
+
+
+class TestDeadlockExploration:
+    def test_default_schedule_is_clean(self, deadlock_target):
+        out = run_once(make_scenario(deadlock_target), None)
+        assert out.error is None
+
+    def test_exploration_finds_and_replays_the_deadlock(self, deadlock_target, tmp_path):
+        res = explore(deadlock_target, schedules=200, seed=0, out_dir=tmp_path)
+        assert not res.ok
+        failure = res.failures[0]
+        assert failure.outcome.signature == ("deadlock", (0, 1))
+        assert sorted(r for r, _ in failure.outcome.parked) == [0, 1]
+        assert failure.replay_confirmed
+
+        trace = DecisionTrace.load(failure.trace_path)
+        replayed = replay(trace)
+        assert replayed.signature == ("deadlock", (0, 1))
+
+
+class TestTraces:
+    def test_roundtrip(self, tmp_path):
+        trace = DecisionTrace(
+            target="queue",
+            strategy="random",
+            strategy_seed=4,
+            engine_seed=0,
+            nprocs=3,
+            schedule_index=9,
+            failure="[queue-consistency] boom",
+            mutation="unlocked_split",
+            signature=["invariants", ["queue-consistency"]],
+            decisions=[{"k": "pick", "rank": 1}, {"k": "delay", "i": 3, "s": 1e-6, "site": "sync"}],
+        )
+        path = trace.save(tmp_path / "t.json")
+        loaded = DecisionTrace.load(path)
+        assert loaded == trace
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99}')
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            DecisionTrace.load(path)
+
+    def test_minimize_to_single_culprit(self):
+        decisions = [{"k": "pick", "rank": r} for r in range(40)]
+        culprit = {"k": "pick", "rank": 7}
+
+        def reproduces(ds):
+            return culprit in ds
+
+        minimized, replays = minimize_decisions(decisions, reproduces)
+        assert minimized == [culprit]
+        assert replays > 0
+
+    def test_minimize_respects_replay_budget(self):
+        decisions = [{"k": "pick", "rank": r} for r in range(64)]
+        calls = []
+
+        def reproduces(ds):
+            calls.append(1)
+            return len(ds) >= 2  # any two decisions reproduce
+
+        minimize_decisions(decisions, reproduces, max_replays=10)
+        assert len(calls) <= 10
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path):
+        from repro.check.__main__ import main
+
+        assert main(["--target", "queue", "--schedules", "10", "--out", str(tmp_path)]) == 0
+
+    def test_mutated_run_exits_nonzero_and_replays(self, tmp_path):
+        from repro.check.__main__ import main
+
+        code = main(
+            [
+                "--target",
+                "queue",
+                "--schedules",
+                "300",
+                "--mutate",
+                "unlocked_split",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        min_traces = sorted(tmp_path.glob("*.min.json"))
+        assert min_traces
+        # the trace records its mutation, so replay re-applies it itself
+        assert main(["--replay", str(min_traces[0])]) == 0

@@ -215,3 +215,33 @@ class TestDirtyMarkOptimization:
         detect_time = max(res.finish_times)
         barrier = armci_barrier_cost(eng.machine, nprocs)
         assert barrier < detect_time < 8 * barrier
+
+
+class TestScheduleSweep:
+    """Seed sweeps via the model checker's RandomWalk strategy: the full
+    protocol stack (split queues + stealing + wave termination) must stay
+    clean under many adversarially-randomized schedules, not just the
+    deterministic default one."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(12))
+    def test_termination_protocol_clean_under_random_schedules(self, seed):
+        from repro.check.runner import run_once
+        from repro.check.scenarios import make_scenario
+        from repro.check.strategies import RandomWalk
+
+        outcome = run_once(make_scenario("termination"), RandomWalk(seed=seed))
+        assert outcome.error is None
+        assert outcome.violations == []
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(12))
+    def test_steal_only_workload_clean_under_random_schedules(self, seed):
+        from repro.check.runner import run_once
+        from repro.check.scenarios import make_scenario
+        from repro.check.strategies import RandomWalk
+
+        outcome = run_once(make_scenario("steals"), RandomWalk(seed=seed))
+        assert outcome.error is None
+        assert outcome.violations == []
+

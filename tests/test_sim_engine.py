@@ -110,6 +110,22 @@ def test_deadlock_detected_with_blocked_ranks_reported():
         run_spmd(2, main)
 
 
+def test_deadlock_names_every_parked_process():
+    """The structured ``parked`` attribute lists every stuck rank with its
+    blocking site, in rank order — what the model checker keys replay on."""
+
+    def main(proc):
+        if proc.rank == 0:
+            proc.compute(1e-6)
+            return
+        proc.park(f"stuck-{proc.rank}")
+
+    with pytest.raises(SimDeadlockError) as info:
+        run_spmd(3, main)
+    assert info.value.parked == [(1, "stuck-1"), (2, "stuck-2")]
+    assert "rank 1" in str(info.value) and "rank 2" in str(info.value)
+
+
 def test_max_events_limit():
     def main(proc):
         while True:

@@ -138,6 +138,20 @@ class TestWaitFreeEndToEnd:
         eng.run()
         assert sorted(ran_on) == [0, 1, 2, 3]
 
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(10))
+    def test_waitfree_protocol_clean_under_random_schedules(self, seed):
+        """Schedule sweep: the reservation-atomic steal path must preserve
+        exactly-once and queue consistency under adversarial interleavings,
+        not just the deterministic default schedule."""
+        from repro.check.runner import run_once
+        from repro.check.scenarios import make_scenario
+        from repro.check.strategies import RandomWalk
+
+        outcome = run_once(make_scenario("waitfree"), RandomWalk(seed=seed))
+        assert outcome.error is None
+        assert outcome.violations == []
+
     def test_waitfree_steal_cheaper_than_locked(self):
         """Cost comparison on one loaded queue (the A6 ablation's core)."""
 
