@@ -1,0 +1,24 @@
+"""Static and dynamic analyses for the Scioto runtime (``repro.analyze``).
+
+Two complementary prongs, both deterministic (unlike the schedule
+*search* in :mod:`repro.check`, these flag violations on every run):
+
+* :mod:`repro.analyze.race` — a happens-before data-race detector for
+  the simulated PGAS machine: per-rank vector clocks, synchronization
+  edges derived from mutexes, barriers, message delivery, remote
+  atomics and fences, and access hooks on every ARMCI shared region
+  (queue descriptors, termination flags, GA patches).
+* :mod:`repro.analyze.lint` — an AST lint framework with
+  Scioto-specific rules (RPR001–RPR005) enforcing the locking, fencing
+  and determinism discipline the protocols rely on.
+
+Run both from the command line::
+
+    python -m repro.analyze race --target all
+    python -m repro.analyze lint src/repro
+"""
+
+from repro.analyze.race import Access, Race, RaceDetector
+from repro.analyze.vectorclock import VectorClock
+
+__all__ = ["Access", "Race", "RaceDetector", "VectorClock"]

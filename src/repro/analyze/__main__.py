@@ -1,0 +1,100 @@
+"""Static and dynamic analysis for the Scioto runtime reproduction.
+
+Subcommands:
+
+* ``race`` — run check scenarios with the vector-clock race detector
+  attached and report every conflicting, happens-before-unordered
+  access pair.  Deterministic: one run per scenario suffices (see
+  ``docs/analyze.md``).  Exits 1 if any race was found.
+* ``lint`` — run the RPR rule suite over source trees.  Exits 1 if
+  any finding survives suppression comments.
+
+Examples::
+
+    python -m repro.analyze race
+    python -m repro.analyze race --target queue --mutate unlocked_split
+    python -m repro.analyze lint src/repro
+    python -m repro.analyze lint --rule RPR002 src tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyze.lint import RULES, lint_paths
+from repro.analyze.runner import run_race_detection
+from repro.check.mutations import MUTATIONS
+from repro.check.scenarios import SCENARIOS
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    targets = sorted(SCENARIOS) if args.target == "all" else [args.target]
+    mutation = None if args.mutate == "none" else args.mutate
+    total = 0
+    for target in targets:
+        res = run_race_detection(
+            target, mutation=mutation, engine_seed=args.engine_seed
+        )
+        status = f"{len(res.races)} race(s)" if res.racy else "clean"
+        print(
+            f"{target}: {status} "
+            f"({res.accesses} shared accesses, {res.events} events"
+            + (f", run ended with {res.error}" if res.error else "")
+            + ")"
+        )
+        if res.racy:
+            for line in res.report.splitlines()[1:]:
+                print(line)
+        total += len(res.races)
+    print(f"\ntotal: {total} race(s) across {len(targets)} scenario(s)"
+          + (f" [mutation: {mutation}]" if mutation else ""))
+    return 1 if total else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    rules = args.rule if args.rule else None
+    findings, nfiles = lint_paths(args.paths, rules=rules)
+    for f in findings:
+        print(f)
+    checked = ", ".join(sorted(rules)) if rules else f"{len(RULES)} rules"
+    print(f"{len(findings)} finding(s) in {nfiles} file(s) [{checked}]")
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.analyze", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_race = sub.add_parser("race", help="vector-clock race detection")
+    p_race.add_argument(
+        "--target",
+        choices=["all", *sorted(SCENARIOS)],
+        default="all",
+        help="scenario to run (default: all)",
+    )
+    p_race.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default="none",
+        help="apply an intentional protocol bug first",
+    )
+    p_race.add_argument("--engine-seed", type=int, default=0)
+    p_race.set_defaults(fn=_cmd_race)
+
+    p_lint = sub.add_parser("lint", help="static RPR rule suite")
+    p_lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    p_lint.add_argument(
+        "--rule",
+        action="append",
+        choices=sorted(RULES),
+        help="run only this rule (repeatable)",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Static AST lint for Scioto-style PGAS runtime code.
+
+The rules encode the framework's discipline — the properties the
+dynamic race detector checks at runtime, enforced at the source level
+where that is possible:
+
+========  ==========================================================
+RPR001    shared-queue field mutated outside a lock scope
+RPR002    wall-clock time or unseeded randomness in ``src/repro``
+RPR003    poll loop that never yields to the simulation engine
+RPR004    task body capturing process-local state instead of a CLO
+RPR005    flag-carrying put not preceded by a fence
+========  ==========================================================
+
+Suppression:
+
+* ``# repro: lint-disable=RPR002`` on a line suppresses the named
+  rule(s) for that line (comma-separate several ids).
+* ``# repro: lint-disable-file=RPR001`` anywhere in a file suppresses
+  the rule(s) for the whole file.
+
+Rules are heuristic: they reason about names and call shapes, not
+types.  A false positive at a sanctioned site gets a suppression
+comment, which doubles as documentation that the site was reviewed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "RULES",
+    "register_rule",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+_DISABLE_LINE = re.compile(r"#\s*repro:\s*lint-disable=([A-Z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*repro:\s*lint-disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintRule:
+    """A registered rule: an id, a one-line title, and a checker.
+
+    The checker receives the parsed module and returns ``(line,
+    message)`` pairs; the framework attaches the id/path and applies
+    suppressions.
+    """
+
+    id: str
+    title: str
+    check: Callable[[ast.Module, str], list[tuple[int, str]]]
+
+
+#: Rule registry, keyed by rule id (populated by :mod:`.rules`).
+RULES: dict[str, LintRule] = {}
+
+
+def register_rule(rule_id: str, title: str):
+    """Decorator registering ``fn(tree, source) -> [(line, msg)]``."""
+
+    def deco(fn: Callable[[ast.Module, str], list[tuple[int, str]]]):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule {rule_id}")
+        RULES[rule_id] = LintRule(id=rule_id, title=title, check=fn)
+        return fn
+
+    return deco
+
+
+@dataclass
+class _Suppressions:
+    file_rules: set[str] = field(default_factory=set)
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_rules:
+            return False
+        return rule_id not in self.line_rules.get(line, ())
+
+    @classmethod
+    def parse(cls, source: str) -> "_Suppressions":
+        sup = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _DISABLE_FILE.search(text)
+            if m:
+                sup.file_rules.update(_ids(m.group(1)))
+                continue
+            m = _DISABLE_LINE.search(text)
+            if m:
+                sup.line_rules.setdefault(lineno, set()).update(_ids(m.group(1)))
+        return sup
+
+
+def _ids(spec: str) -> list[str]:
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def lint_file(
+    path: str | Path,
+    source: str | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one file; returns findings surviving suppression comments."""
+    path = Path(path)
+    if source is None:
+        source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding("RPR000", str(path), exc.lineno or 0, f"syntax error: {exc.msg}")]
+    sup = _Suppressions.parse(source)
+    selected = RULES if rules is None else {r: RULES[r] for r in rules}
+    findings: list[Finding] = []
+    for rule in selected.values():
+        for line, message in rule.check(tree, source):
+            if sup.allows(rule.id, line):
+                findings.append(Finding(rule.id, str(path), line, message))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``; returns (findings, nfiles)."""
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, rules=rules))
+    return findings, len(files)
+
+
+# Importing the rules module populates RULES.
+from repro.analyze.lint import rules as _rules  # noqa: E402,F401

@@ -1,0 +1,47 @@
+"""Vector clocks: the partial order underlying happens-before analysis.
+
+One :class:`VectorClock` per rank tracks how much of every other rank's
+history the rank has (transitively) observed through synchronization.
+Two accesses are ordered iff the later one's clock dominates the
+earlier one's component for the earlier rank; otherwise they are
+concurrent — and, if they conflict on the same shared region, a race.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A fixed-width vector clock over ``nprocs`` ranks."""
+
+    __slots__ = ("c",)
+
+    def __init__(self, nprocs: int, init: list[int] | None = None) -> None:
+        self.c = list(init) if init is not None else [0] * nprocs
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(len(self.c), self.c)
+
+    def tick(self, rank: int) -> None:
+        """Advance this rank's own component (a new local epoch)."""
+        self.c[rank] += 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Merge ``other`` into this clock (component-wise max)."""
+        c, o = self.c, other.c
+        for i in range(len(c)):
+            if o[i] > c[i]:
+                c[i] = o[i]
+
+    def ordered_before(self, rank: int, other: "VectorClock") -> bool:
+        """True if an event stamped with this clock on ``rank``
+        happens-before an event stamped with ``other`` (on any rank).
+
+        The standard epoch test: the later clock has observed the
+        earlier rank's history up to and including the earlier event.
+        """
+        return self.c[rank] <= other.c[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.c!r}"

@@ -18,9 +18,10 @@ from collections import defaultdict, deque
 from collections.abc import Callable
 from typing import Any
 
+from repro.analyze.race import RaceDetector
 from repro.sim.engine import Engine, Proc
 from repro.sim.resources import SimBarrier, SimMutex
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.armci.collectives import armci_barrier_cost
 from repro.util.errors import CommError
 
@@ -73,6 +74,10 @@ class Armci:
         self._collective_slot: list[Any] = []
         self._collective_parked: list[Proc] = []
 
+    def _race(self) -> RaceDetector | None:
+        """The engine's race detector, if one is attached."""
+        return self.engine.state.get(RaceDetector._KEY)
+
     @classmethod
     def attach(cls, engine: Engine) -> "Armci":
         """Return the engine's ARMCI runtime, creating it on first use."""
@@ -104,6 +109,9 @@ class Armci:
         proc.sync()
         if apply_fn is not None:
             apply_fn()
+        det = self._race()
+        if det is not None:
+            det.on_put(proc, target)
 
     def get(
         self,
@@ -156,6 +164,9 @@ class Armci:
         proc.advance((service + combine) - proc.now)
         self.counters.add(proc.rank, "acc_remote")
         self.counters.add(proc.rank, "bytes_acc", nbytes)
+        det = self._race()
+        if det is not None:
+            det.on_put(proc, target)
 
     # ------------------------------------------------------------------ #
     # Non-blocking one-sided operations (ARMCI_NbPut / NbGet / Wait)
@@ -189,6 +200,9 @@ class Armci:
             apply_fn()
         self.counters.add(proc.rank, "put_remote")
         self.counters.add(proc.rank, "bytes_put", nbytes)
+        det = self._race()
+        if det is not None:
+            det.on_put(proc, target)
         return NbHandle(proc.now + m.put_time(nbytes, nchunks))
 
     def nbget(
@@ -244,6 +258,7 @@ class Armci:
         """
         m = self.engine.machine
         self.counters.add(proc.rank, "rmw")
+        det = self._race()
         if target == proc.rank:
             # local CAS: cheap, but still serializes with remote atomics
             # being serviced at this rank
@@ -252,7 +267,11 @@ class Armci:
             start = max(proc.now, self._rmw_free_at[target])
             end = start + m.local_lock_overhead
             self._rmw_free_at[target] = end
+            if det is not None:
+                det.on_rmw(proc, target)
             value = fn()
+            if det is not None:
+                det.on_rmw_done(proc, target)
             proc.advance(end - proc.now)
             return value
         proc.advance(m.latency)  # request travels
@@ -260,7 +279,11 @@ class Armci:
         service_start = max(proc.now, self._rmw_free_at[target])
         service_end = service_start + m.rmw_overhead
         self._rmw_free_at[target] = service_end
+        if det is not None:
+            det.on_rmw(proc, target)
         value = fn()
+        if det is not None:
+            det.on_rmw_done(proc, target)
         # response departs when serviced; initiator resumes a latency later
         proc.advance((service_end + m.latency) - proc.now)
         return value
@@ -295,6 +318,9 @@ class Armci:
         proc.advance(cost)
         proc.sync()
         self._mailboxes[target][tag].append((proc.rank, payload))
+        det = self._race()
+        if det is not None:
+            det.on_post(proc, target, tag)
         self.counters.add(proc.rank, "msg_posted")
         waiter = self._mail_waiters.pop((target, tag), None)
         if waiter is not None:
@@ -306,6 +332,9 @@ class Armci:
         proc.sync()
         q = self._mailboxes[proc.rank][tag]
         if q:
+            det = self._race()
+            if det is not None:
+                det.on_poll(proc, tag)
             return q.popleft()
         return None
 
@@ -340,10 +369,18 @@ class Armci:
         self._barrier.wait(proc)
 
     def fence(self, proc: Proc, target: int | None = None) -> None:
-        """Wait for completion of this rank's outstanding one-sided ops."""
-        del target  # ops are initiator-blocking in this model; charge flush only
+        """Wait for completion of this rank's outstanding one-sided ops.
+
+        Ops are initiator-blocking in this model, so the charge is a
+        flush only — but the *ordering* the fence provides (earlier
+        one-sided ops complete at the target before anything after it)
+        is what the race detector's §5.3 fence discipline tracks.
+        """
         proc.advance(self.engine.machine.latency)
         proc.sync()
+        det = self._race()
+        if det is not None:
+            det.on_fence(proc, target)
 
     def allreduce(self, proc: Proc, value: Any, op: Callable[[Any, Any], Any]) -> Any:
         """Combine ``value`` across all ranks with ``op``; all ranks get the result.
@@ -365,6 +402,9 @@ class Armci:
         self._collective_slot = []
         release_at = proc.now + armci_barrier_cost(self.engine.machine, n)
         parked, self._collective_parked = self._collective_parked, []
+        det = self._race()
+        if det is not None:
+            det.on_collective(parked + [proc])
         for w in parked:
             self.engine.wake(w, release_at, result)
         proc.advance(release_at - proc.now)

@@ -53,10 +53,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"# repro benchmark suite — scale={s}\n")
     for name in chosen:
         fn, render_kwargs = EXPERIMENTS[name]
-        t0 = time.time()
+        # Sanctioned wall-clock site: this measures how long the *host*
+        # takes to run the experiment, not anything in virtual time.
+        t0 = time.perf_counter()  # repro: lint-disable=RPR002
         result = fn(s)
         print(render(result, **render_kwargs))
-        print(f"  ({time.time() - t0:.1f}s wall)\n")
+        print(f"  ({time.perf_counter() - t0:.1f}s wall)\n")  # repro: lint-disable=RPR002
     return 0
 
 

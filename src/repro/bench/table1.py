@@ -22,7 +22,7 @@ from repro.core import SciotoConfig, Task
 from repro.core.queue import SplitQueue
 from repro.sim.engine import Engine
 from repro.sim.machines import MachineSpec, cray_xt4, uniform_cluster
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.util.records import Series, SweepResult
 
 __all__ = ["run_table1", "PAPER_TABLE1"]

@@ -6,6 +6,11 @@ real protocol guards against — applied temporarily via monkey-patching
 so the shipped protocol code stays untouched — and the test suite (and
 ``--mutate`` CLI flag) asserts that schedule exploration catches it and
 produces a minimized, replayable trace.
+
+This file implements bugs on purpose, so the lint rules that would
+flag them are disabled for the whole file:
+
+# repro: lint-disable-file=RPR001,RPR005
 """
 
 from __future__ import annotations
@@ -13,8 +18,9 @@ from __future__ import annotations
 import contextlib
 from typing import Callable, Iterator
 
+from repro.analyze import hooks
 from repro.core.queue import SplitQueue
-from repro.core.termination import TerminationDetector
+from repro.core.termination import TerminationDetector, is_descendant
 
 __all__ = ["MUTATIONS", "apply_mutation"]
 
@@ -37,11 +43,13 @@ def unlocked_split() -> Iterator[None]:
         if not self._shared:
             return
         k = max(1, int(len(self._shared) * self.config.reacquire_fraction))
+        hooks.shared_read(proc, self._race_region)
         moved = self._shared[:k]  # read the split window ...
         # ... unlocked, and spanning several scheduler yields — the
         # window a real one-sided metadata read/update pair leaves open
         for _ in range(3):
             proc.sleep(self.engine.machine.local_lock_overhead)
+        hooks.shared_update(proc, self._race_region)
         self._private.extend(moved)
         del self._shared[:k]  # stale write-back of the split pointer
         self.counters.add(proc.rank, "reacquire_ops")
@@ -81,6 +89,41 @@ def no_dirty_mark() -> Iterator[None]:
 
 
 @contextlib.contextmanager
+def fence_elision() -> Iterator[None]:
+    """Send the §5.3 dirty mark without fencing the steal's transfers.
+
+    The correct protocol fences the thief's earlier one-sided ops to the
+    victim before the dirty-mark put, so the victim cannot observe the
+    mark, vote, and then have the steal's index update land afterwards.
+    This mutation keeps the mark but skips the fence — the window is
+    narrow and rarely corrupts state on random schedules, which is
+    exactly why the race detector's fence discipline
+    (``unfenced-flag-store``) is the right tool to catch it.
+    """
+    orig = TerminationDetector.note_steal
+
+    def unfenced_note_steal(self: TerminationDetector, proc, victim: int) -> None:
+        self._mark_dirty(proc)
+        need_mark = (not self.optimize) or (
+            self.voted and not is_descendant(victim, self.rank)
+        )
+        if need_mark:
+            victim_det = self.peers[victim]
+            self.armci.put(
+                proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
+            )
+            self.counters.add(proc.rank, "dirty_msgs")
+        else:
+            self.counters.add(proc.rank, "dirty_msgs_skipped")
+
+    TerminationDetector.note_steal = unfenced_note_steal
+    try:
+        yield
+    finally:
+        TerminationDetector.note_steal = orig
+
+
+@contextlib.contextmanager
 def no_mutation() -> Iterator[None]:
     yield
 
@@ -90,6 +133,7 @@ MUTATIONS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
     "none": no_mutation,
     "unlocked_split": unlocked_split,
     "no_dirty_mark": no_dirty_mark,
+    "fence_elision": fence_elision,
 }
 
 

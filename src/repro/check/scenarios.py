@@ -31,7 +31,7 @@ from repro.core.graph import TaskGraph
 from repro.core.queue import SplitQueue
 from repro.core.task import Task
 from repro.sim.engine import Engine
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 
 __all__ = [
     "Scenario",

@@ -31,7 +31,7 @@ from repro.core.stats import ProcessStats
 from repro.core.task import Task
 from repro.core.termination import TerminationDetector
 from repro.sim.engine import Engine, Proc
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 

@@ -27,11 +27,12 @@ from __future__ import annotations
 import bisect
 from typing import TYPE_CHECKING
 
+from repro.analyze import hooks
 from repro.armci.runtime import Armci
 from repro.core.config import SciotoConfig
 from repro.core.task import Task
 from repro.sim.engine import Engine, Proc
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
@@ -73,6 +74,10 @@ class SplitQueue:
         self._private: list[Task] = []
         self._shared: list[Task] = []
         self.mutex = self.armci.create_mutex(owner, f"{name}[{owner}]")
+        # Race-detector region for the steal-able (shared) portion and its
+        # metadata.  The private portion is owner-only by construction, so
+        # only shared-portion touches are instrumented.
+        self._race_region = ("queue", name, owner)
 
     # ------------------------------------------------------------------ #
     # Introspection (no cost; owner-view or test use)
@@ -139,6 +144,7 @@ class SplitQueue:
             proc.advance(m.local_insert_overhead + m.local_copy_time(self._wire(task)))
             proc.sync()
             self._check_capacity(1)
+            hooks.shared_write(proc, self._race_region)
             self._insert_by_affinity(self._shared, task)
             trace(proc, "q-push", (self.owner, task.uid))
             self.mutex.release(proc)
@@ -164,6 +170,7 @@ class SplitQueue:
         self.mutex.acquire(proc)
         proc.advance(m.local_get_overhead)
         proc.sync()
+        hooks.shared_update(proc, self._race_region)
         task = self._shared.pop(0) if self._shared else None
         if task is not None:
             trace(proc, "q-pop", (self.owner, task.uid))
@@ -190,6 +197,7 @@ class SplitQueue:
         def _move() -> None:
             # lowest-affinity private tasks (the tail) become shared; keep
             # the shared region sorted (remote adds may interleave)
+            hooks.shared_update(proc, self._race_region)
             self._shared = self._private[-k:] + self._shared
             del self._private[-k:]
             self._shared.sort(key=lambda t: -t.affinity)
@@ -206,6 +214,7 @@ class SplitQueue:
 
         def _move() -> None:
             # highest-affinity shared tasks (the front) come back to private
+            hooks.shared_update(proc, self._race_region)
             self._private.extend(self._shared[:k])
             del self._shared[:k]
 
@@ -264,6 +273,7 @@ class SplitQueue:
         # a single one-sided get (the paper's "several tasks ... using a
         # single one-sided communication operation", §5).
         def _take() -> list[Task]:
+            hooks.shared_update(proc, self._race_region)
             k = min(want, len(self._shared))
             taken = self._shared[len(self._shared) - k :]
             del self._shared[len(self._shared) - k :]
@@ -297,6 +307,7 @@ class SplitQueue:
         m = self.engine.machine
 
         def _reserve() -> list[Task]:
+            hooks.shared_update(proc, self._race_region)
             k = min(want, len(self._shared))
             taken = self._shared[len(self._shared) - k :]
             del self._shared[len(self._shared) - k :]
@@ -328,15 +339,27 @@ class SplitQueue:
             return
         m = self.engine.machine
         nbytes = sum(self._wire(t) for t in tasks)
+        if not self.config.split_queues:
+            # Fully-locked design: the absorbing owner inserts into the
+            # shared (and only) portion, which concurrent thieves may be
+            # stealing from — so the insert takes the queue mutex like
+            # every other operation in this mode.
+            self.mutex.acquire(proc)
         proc.advance(m.local_insert_overhead + m.local_copy_time(nbytes))
         proc.sync()
         self._check_capacity(len(tasks))
-        region = self._private if self.config.split_queues else self._shared
+        if self.config.split_queues:
+            region = self._private
+        else:
+            hooks.shared_write(proc, self._race_region)
+            region = self._shared
         region.extend(tasks)
         region.sort(key=lambda t: -t.affinity)  # stable merge; mostly sorted
         trace(proc, "q-absorb", (self.owner, tuple(t.uid for t in tasks)))
         if self.config.split_queues:
             self._maybe_release(proc)
+        else:
+            self.mutex.release(proc)
 
     def add_remote(self, proc: Proc, task: Task) -> None:
         """Insert a task into another process's queue (remote ``tc_add``).
@@ -352,6 +375,7 @@ class SplitQueue:
 
         def _insert() -> None:
             self._check_capacity(1)
+            hooks.shared_write(proc, self._race_region)
             self._insert_by_affinity(self._shared, task)
             trace(proc, "q-add-remote", (self.owner, task.uid))
 
@@ -367,8 +391,13 @@ class SplitQueue:
         proc.advance(m.remote_op_overhead)
 
     def drain(self) -> list[Task]:
-        """Remove and return all queued tasks (used by ``tc_reset``)."""
+        """Remove and return all queued tasks (used by ``tc_reset``).
+
+        ``tc_reset`` is collective and runs between barriers, so no
+        thief can be in the queue while it drains — safe without the
+        mutex.
+        """
         out = self._private + self._shared
         self._private = []
-        self._shared = []
+        self._shared = []  # repro: lint-disable=RPR001
         return out

@@ -33,9 +33,10 @@ promptly while only *passive* processes vote.
 
 from __future__ import annotations
 
+from repro.analyze import hooks
 from repro.armci.runtime import Armci
 from repro.sim.engine import Engine, Proc
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
@@ -110,13 +111,20 @@ class TerminationDetector:
     # ------------------------------------------------------------------ #
     def note_steal(self, proc: Proc, victim: int) -> None:
         """Record a successful steal; possibly dirty-mark the victim (§5.3)."""
-        self.dirty = True
+        self._mark_dirty(proc)
         need_mark = (not self.optimize) or (
             self.voted and not is_descendant(victim, self.rank)
         )
         if need_mark:
+            # The dirty mark is a *release* store: it must not be observed
+            # by the victim before the steal's one-sided transfers have
+            # completed, or the victim could vote white between seeing the
+            # mark and the stolen tasks landing.  Fence first (§5.3).
+            self.armci.fence(proc, victim)
             victim_det = self.peers[victim]
-            self.armci.put(proc, victim, 8, lambda: victim_det._mark_dirty())
+            self.armci.put(
+                proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
+            )
             self.counters.add(proc.rank, "dirty_msgs")
         else:
             self.counters.add(proc.rank, "dirty_msgs_skipped")
@@ -124,10 +132,17 @@ class TerminationDetector:
     def note_remote_add(self, proc: Proc, target: int) -> None:
         """Record a remote task insertion; the dirty flag piggybacks on the
         insert message itself (no extra communication)."""
-        self.dirty = True
-        self.peers[target]._mark_dirty()
+        self._mark_dirty(proc)
+        self.peers[target]._mark_dirty(proc)
 
-    def _mark_dirty(self) -> None:
+    def _mark_dirty(self, proc: Proc | None = None, release: bool = False) -> None:
+        if proc is not None:
+            hooks.flag_write(
+                proc,
+                ("td-dirty", self.tag, self.rank),
+                target=self.rank,
+                release=release,
+            )
         self.dirty = True
 
     # ------------------------------------------------------------------ #
@@ -194,7 +209,8 @@ class TerminationDetector:
     # ------------------------------------------------------------------ #
     # Voting
     # ------------------------------------------------------------------ #
-    def _combined_color(self) -> int:
+    def _combined_color(self, proc: Proc) -> int:
+        hooks.flag_read(proc, ("td-dirty", self.tag, self.rank))
         if self.dirty or any(c == BLACK for c in self.child_tokens.values()):
             return BLACK
         return WHITE
@@ -205,7 +221,8 @@ class TerminationDetector:
             return
         if len(self.child_tokens) < len(self.children):
             return
-        color = self._combined_color()
+        color = self._combined_color(proc)
+        hooks.flag_write(proc, ("td-dirty", self.tag, self.rank))
         self.dirty = False
         self.voted = True
         self.in_wave = False
@@ -223,7 +240,8 @@ class TerminationDetector:
                 self._send(proc, c, ("down", self.wave))
         if len(self.child_tokens) < len(self.children):
             return
-        color = self._combined_color()
+        color = self._combined_color(proc)
+        hooks.flag_write(proc, ("td-dirty", self.tag, self.rank))
         self.dirty = False
         self.in_wave = False
         self.child_tokens = {}

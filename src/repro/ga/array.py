@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analyze import hooks
 from repro.armci.runtime import Armci
 from repro.ga.distribution import BlockDistribution
 from repro.sim.engine import Engine, Proc
@@ -117,6 +118,8 @@ class GlobalArray:
 
     def access(self, proc: Proc) -> np.ndarray:
         """Direct view of the calling rank's own patch (NGA_Access)."""
+        # The view is writable, so model it as a write by the owner.
+        hooks.shared_write(proc, ("ga", self.gid, proc.rank))
         return self._patches[proc.rank]
 
     # ------------------------------------------------------------------ #
@@ -209,6 +212,7 @@ class GlobalArray:
 
     def fill(self, proc: Proc, value: float) -> None:
         """Collectively fill the array with ``value`` (GA_Fill)."""
+        hooks.shared_write(proc, ("ga", self.gid, proc.rank))
         self._patches[proc.rank][...] = value
         self._runtime.armci.barrier(proc)
 
@@ -245,12 +249,15 @@ class GlobalArray:
         return tuple(slice(l - o, h - o) for o, l, h in zip(lo, plo, phi))
 
     def _read(self, rank: int, plo: tuple, phi: tuple) -> np.ndarray:
+        hooks.shared_read(self._runtime.engine.current, ("ga", self.gid, rank))
         return self._patches[rank][self._local_slices(rank, plo, phi)].copy()
 
     def _write(self, rank: int, plo: tuple, phi: tuple, chunk: np.ndarray) -> None:
+        hooks.shared_write(self._runtime.engine.current, ("ga", self.gid, rank))
         self._patches[rank][self._local_slices(rank, plo, phi)] = chunk
 
     def _accumulate(
         self, rank: int, plo: tuple, phi: tuple, chunk: np.ndarray, alpha: float
     ) -> None:
+        hooks.shared_atomic(self._runtime.engine.current, ("ga", self.gid, rank))
         self._patches[rank][self._local_slices(rank, plo, phi)] += alpha * chunk

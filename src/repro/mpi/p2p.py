@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.sim.engine import Engine, Proc
 from repro.sim.resources import SimBarrier
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.armci.collectives import mpi_barrier_cost
 from repro.util.errors import CommError
 

@@ -14,7 +14,7 @@ from repro.sim.machines import (
     uniform_cluster,
 )
 from repro.sim.resources import SimBarrier, SimMutex
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.sim.tracing import Tracer, TraceEvent, trace
 
 __all__ = [

@@ -1,0 +1,45 @@
+"""Lightweight counters for communication- and scheduler-level statistics.
+
+Every layer keeps a :class:`Counters` instance; benchmarks read them to
+report message counts, bytes moved, steals, and the dirty-mark message
+savings of the termination-detector optimization (ablation A2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """A two-level counter map: ``counters[rank][key] -> float``.
+
+    Also maintains a global aggregate accessible via :meth:`total`.
+    """
+
+    def __init__(self) -> None:
+        self._per_rank: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+
+    def add(self, rank: int, key: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``key`` of ``rank``."""
+        self._per_rank[rank][key] += amount
+
+    def get(self, rank: int, key: str) -> float:
+        """Return counter ``key`` of ``rank`` (0.0 if never touched)."""
+        return self._per_rank[rank].get(key, 0.0)
+
+    def total(self, key: str) -> float:
+        """Sum of counter ``key`` across all ranks."""
+        return sum(c.get(key, 0.0) for c in self._per_rank.values())
+
+    def keys(self) -> set[str]:
+        """All counter names that have been touched on any rank."""
+        out: set[str] = set()
+        for c in self._per_rank.values():
+            out.update(c.keys())
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        """Aggregate view ``{key: total}`` across ranks."""
+        return {k: self.total(k) for k in sorted(self.keys())}

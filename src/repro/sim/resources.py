@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
+from repro.analyze.race import RaceDetector
 from repro.sim.tracing import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -58,6 +59,9 @@ class SimMutex:
             self._waiters.append(proc)
             proc.park(f"mutex {self.name}@{self.host_rank}")
             assert self.holder is proc
+        det = RaceDetector.of(self.engine)
+        if det is not None:
+            det.on_mutex_acquire(proc, self)
         trace(proc, "mutex-acq", self.name)
         self.acquires += 1
 
@@ -67,6 +71,9 @@ class SimMutex:
             raise RuntimeError(f"rank {proc.rank} released {self.name} it does not hold")
         proc.advance(self._release_cost(proc))
         proc.sync()
+        det = RaceDetector.of(self.engine)
+        if det is not None:
+            det.on_mutex_release(proc, self)
         trace(proc, "mutex-rel", self.name)
         if self._waiters:
             nxt = self._waiters.popleft()
@@ -118,6 +125,9 @@ class SimBarrier:
         release_at = proc.now + self.cost_fn(self.nprocs)
         waiters, self._arrived = self._arrived[:-1], []
         self._generation += 1
+        det = RaceDetector.of(self.engine)
+        if det is not None:
+            det.on_collective(waiters + [proc])
         for w in waiters:
             self.engine.wake(w, release_at)
         proc.advance(release_at - proc.now)

@@ -8,7 +8,7 @@ from repro.core.config import SciotoConfig
 from repro.core.queue import SplitQueue
 from repro.core.task import Task
 from repro.sim.engine import Engine
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 from repro.util.errors import TaskCollectionError
 
 

@@ -14,7 +14,7 @@ from repro.core.termination import (
     tree_parent,
 )
 from repro.sim.engine import Engine
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 
 
 class TestTree:

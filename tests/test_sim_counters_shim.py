@@ -1,0 +1,22 @@
+"""The repro.sim.trace -> repro.sim.counters rename keeps a shim."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+
+def test_shim_reexports_counters_with_deprecation_warning():
+    sys.modules.pop("repro.sim.trace", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.sim.trace")
+    from repro.sim.counters import Counters
+
+    assert shim.Counters is Counters
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.sim.counters" in str(w.message)
+        for w in caught
+    )

@@ -11,7 +11,7 @@ from repro.core import SciotoConfig, Task, TaskCollection
 from repro.core.queue import SplitQueue
 from repro.core.task import Task as TaskT
 from repro.sim.engine import Engine
-from repro.sim.trace import Counters
+from repro.sim.counters import Counters
 
 WF = SciotoConfig(wait_free_steals=True)
 SMALL = UTSParams(b0=4.0, gen_mx=8, root_seed=6)
