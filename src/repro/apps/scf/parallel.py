@@ -160,8 +160,10 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
 def _run(mode: str, nprocs: int, problem: SCFProblem, iterations: int,
          machine: MachineSpec | None, seed: int,
          config: SciotoConfig | None, max_events: int | None,
-         convergence: float | None) -> SCFRunResult:
+         convergence: float | None, engine_hook=None) -> SCFRunResult:
     eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events)
+    if engine_hook is not None:
+        engine_hook(eng)
     eng.spawn_all(_scf_main, problem, iterations, mode, config, convergence)
     sim = eng.run()
     energies, elapsed, fock_time = sim.returns[0]
@@ -185,13 +187,16 @@ def run_scf_scioto(
     config: SciotoConfig | None = None,
     max_events: int | None = None,
     convergence: float | None = None,
+    engine_hook=None,
 ) -> SCFRunResult:
     """SCF with Scioto task collections (the paper's port).
 
     ``convergence`` enables early stop on ``|dE|`` below the threshold.
+    ``engine_hook`` is called with the Engine before spawning (observer
+    attachment point, see ``repro.obs``).
     """
     return _run("scioto", nprocs, problem, iterations, machine, seed, config,
-                max_events, convergence)
+                max_events, convergence, engine_hook)
 
 
 def run_scf_original(
@@ -202,7 +207,8 @@ def run_scf_original(
     seed: int = 0,
     max_events: int | None = None,
     convergence: float | None = None,
+    engine_hook=None,
 ) -> SCFRunResult:
     """SCF with the original replicated-list + global-counter scheduler."""
     return _run("original", nprocs, problem, iterations, machine, seed, None,
-                max_events, convergence)
+                max_events, convergence, engine_hook)

@@ -132,8 +132,10 @@ def _tce_main(proc, problem: TCEProblem, mode: str, config: SciotoConfig | None,
 
 
 def _run(mode, nprocs, problem, machine, seed, config, max_events,
-         placement="owner") -> TCERunResult:
+         placement="owner", engine_hook=None) -> TCERunResult:
     eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events)
+    if engine_hook is not None:
+        engine_hook(eng)
     eng.spawn_all(_tce_main, problem, mode, config, placement)
     sim = eng.run()
     elapsed = sim.returns[0][0]
@@ -161,17 +163,19 @@ def run_tce_scioto(
     config: SciotoConfig | None = None,
     max_events: int | None = None,
     placement: str = "owner",
+    engine_hook=None,
 ) -> TCERunResult:
     """Block-sparse contraction with Scioto task collections.
 
     ``placement="owner"`` seeds each task at its C block's owner (the
     paper's locality-aware scheme); ``"roundrobin"`` ignores data
-    location (ablation A4).
+    location (ablation A4).  ``engine_hook`` is called with the Engine
+    before spawning (observer attachment point, see ``repro.obs``).
     """
     if placement not in ("owner", "roundrobin"):
         raise ValueError(f"unknown placement {placement!r}")
     return _run("scioto", nprocs, problem, machine, seed, config, max_events,
-                placement=placement)
+                placement=placement, engine_hook=engine_hook)
 
 
 def run_tce_original(

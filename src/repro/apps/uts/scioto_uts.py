@@ -87,10 +87,18 @@ def run_uts_scioto(
     seed: int = 0,
     config: SciotoConfig | None = None,
     max_events: int | None = None,
+    engine_hook=None,
 ) -> UTSRunResult:
-    """Run UTS with Scioto task collections on ``nprocs`` simulated ranks."""
+    """Run UTS with Scioto task collections on ``nprocs`` simulated ranks.
+
+    ``engine_hook``, if given, is called with the freshly built
+    :class:`~repro.sim.engine.Engine` before any rank is spawned — the
+    attachment point for observers (``repro.obs``, ``repro.analyze``).
+    """
     cfg = config if config is not None else SciotoConfig()
     eng = Engine(nprocs, machine=machine, seed=seed, max_events=max_events)
+    if engine_hook is not None:
+        engine_hook(eng)
     eng.spawn_all(_uts_main, params, cfg)
     sim = eng.run()
     total, elapsed, _ = sim.returns[0]

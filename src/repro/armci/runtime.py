@@ -19,6 +19,7 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.analyze.race import RaceDetector
+from repro.obs.record import span
 from repro.sim.engine import Engine, Proc
 from repro.sim.resources import SimBarrier, SimMutex
 from repro.sim.counters import Counters
@@ -102,13 +103,17 @@ class Armci:
         m = self.engine.machine
         if target == proc.rank:
             proc.advance(m.local_copy_time(nbytes))
+            proc.sync()
+            if apply_fn is not None:
+                apply_fn()
         else:
-            proc.advance(m.put_time(nbytes))
-            self.counters.add(proc.rank, "put_remote")
-            self.counters.add(proc.rank, "bytes_put", nbytes)
-        proc.sync()
-        if apply_fn is not None:
-            apply_fn()
+            with span(proc, "put", "comm", detail=f"->{target} {nbytes}B"):
+                proc.advance(m.put_time(nbytes))
+                self.counters.add(proc.rank, "put_remote")
+                self.counters.add(proc.rank, "bytes_put", nbytes)
+                proc.sync()
+                if apply_fn is not None:
+                    apply_fn()
         det = self._race()
         if det is not None:
             det.on_put(proc, target)
@@ -128,12 +133,13 @@ class Armci:
             proc.advance(m.local_copy_time(nbytes))
             proc.sync()
             return read_fn() if read_fn is not None else None
-        proc.advance(m.latency)  # request travels to the target
-        proc.sync()
-        value = read_fn() if read_fn is not None else None
-        proc.advance(m.latency + nbytes / m.net_bandwidth)  # response + payload
-        self.counters.add(proc.rank, "get_remote")
-        self.counters.add(proc.rank, "bytes_get", nbytes)
+        with span(proc, "get", "comm", detail=f"<-{target} {nbytes}B"):
+            proc.advance(m.latency)  # request travels to the target
+            proc.sync()
+            value = read_fn() if read_fn is not None else None
+            proc.advance(m.latency + nbytes / m.net_bandwidth)  # response + payload
+            self.counters.add(proc.rank, "get_remote")
+            self.counters.add(proc.rank, "bytes_get", nbytes)
         return value
 
     def acc(
@@ -155,15 +161,16 @@ class Armci:
             proc.sync()
             apply_fn()
             return
-        proc.advance(m.put_time(nbytes))
-        proc.sync()
-        service = max(proc.now, self._rmw_free_at[target])
-        combine = nbytes / m.local_mem_bandwidth + m.rmw_overhead
-        self._rmw_free_at[target] = service + combine
-        apply_fn()
-        proc.advance((service + combine) - proc.now)
-        self.counters.add(proc.rank, "acc_remote")
-        self.counters.add(proc.rank, "bytes_acc", nbytes)
+        with span(proc, "acc", "comm", detail=f"->{target} {nbytes}B"):
+            proc.advance(m.put_time(nbytes))
+            proc.sync()
+            service = max(proc.now, self._rmw_free_at[target])
+            combine = nbytes / m.local_mem_bandwidth + m.rmw_overhead
+            self._rmw_free_at[target] = service + combine
+            apply_fn()
+            proc.advance((service + combine) - proc.now)
+            self.counters.add(proc.rank, "acc_remote")
+            self.counters.add(proc.rank, "bytes_acc", nbytes)
         det = self._race()
         if det is not None:
             det.on_put(proc, target)
@@ -274,18 +281,19 @@ class Armci:
                 det.on_rmw_done(proc, target)
             proc.advance(end - proc.now)
             return value
-        proc.advance(m.latency)  # request travels
-        proc.sync()
-        service_start = max(proc.now, self._rmw_free_at[target])
-        service_end = service_start + m.rmw_overhead
-        self._rmw_free_at[target] = service_end
-        if det is not None:
-            det.on_rmw(proc, target)
-        value = fn()
-        if det is not None:
-            det.on_rmw_done(proc, target)
-        # response departs when serviced; initiator resumes a latency later
-        proc.advance((service_end + m.latency) - proc.now)
+        with span(proc, "rmw", "comm", detail=f"@{target}"):
+            proc.advance(m.latency)  # request travels
+            proc.sync()
+            service_start = max(proc.now, self._rmw_free_at[target])
+            service_end = service_start + m.rmw_overhead
+            self._rmw_free_at[target] = service_end
+            if det is not None:
+                det.on_rmw(proc, target)
+            value = fn()
+            if det is not None:
+                det.on_rmw_done(proc, target)
+            # response departs when serviced; initiator resumes a latency later
+            proc.advance((service_end + m.latency) - proc.now)
         return value
 
     # ------------------------------------------------------------------ #
@@ -376,8 +384,9 @@ class Armci:
         one-sided ops complete at the target before anything after it)
         is what the race detector's §5.3 fence discipline tracks.
         """
-        proc.advance(self.engine.machine.latency)
-        proc.sync()
+        with span(proc, "fence", "comm", detail=target):
+            proc.advance(self.engine.machine.latency)
+            proc.sync()
         det = self._race()
         if det is not None:
             det.on_fence(proc, target)

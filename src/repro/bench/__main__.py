@@ -5,6 +5,12 @@ Usage::
     python -m repro.bench                      # everything, quick scale
     python -m repro.bench --scale full         # paper-scale process counts
     python -m repro.bench --only figure7 table1
+    python -m repro.bench --json out.json      # custom record path
+
+Every run also writes the machine-readable record ``BENCH_sim.json``
+(schema ``repro-bench/1``: per-experiment series plus host wall
+seconds) at the repo root, so the perf trajectory is tracked commit to
+commit.  Disable with ``--no-json``.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.bench.figure56 import run_figure56
 from repro.bench.figure7 import run_figure7
 from repro.bench.figure8 import run_figure8
 from repro.bench.harness import scale as resolve_scale
+from repro.bench.harness import write_bench_json
 from repro.bench.report import render
 from repro.bench.table1 import run_table1
 
@@ -47,18 +54,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=["quick", "full"], default=None)
     parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
                         help="run only these experiments")
+    parser.add_argument("--json", default="BENCH_sim.json", metavar="PATH",
+                        help="machine-readable record path (default: %(default)s)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the JSON record")
     args = parser.parse_args(argv)
     s = resolve_scale(args.scale)
     chosen = args.only or list(EXPERIMENTS)
     print(f"# repro benchmark suite — scale={s}\n")
+    measured = []
     for name in chosen:
         fn, render_kwargs = EXPERIMENTS[name]
         # Sanctioned wall-clock site: this measures how long the *host*
         # takes to run the experiment, not anything in virtual time.
         t0 = time.perf_counter()  # repro: lint-disable=RPR002
         result = fn(s)
+        wall = time.perf_counter() - t0  # repro: lint-disable=RPR002
         print(render(result, **render_kwargs))
-        print(f"  ({time.perf_counter() - t0:.1f}s wall)\n")  # repro: lint-disable=RPR002
+        print(f"  ({wall:.1f}s wall)\n")
+        measured.append((result, wall))
+    if not args.no_json:
+        out = write_bench_json(measured, args.json, s)
+        print(f"bench record -> {out}")
     return 0
 
 

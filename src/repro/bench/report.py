@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.util.format import format_table
 from repro.util.records import SweepResult
 
-__all__ = ["render", "paper_vs_measured"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.stats import ProcessStats
+
+__all__ = ["render", "paper_vs_measured", "per_rank_table"]
 
 
 def render(result: SweepResult, x_label: str = "procs", fmt: str = "{:.3g}") -> str:
@@ -26,6 +30,32 @@ def render(result: SweepResult, x_label: str = "procs", fmt: str = "{:.3g}") -> 
     if result.notes:
         body += "\n" + "\n".join(f"  note: {n}" for n in result.notes)
     return body
+
+
+#: ``ProcessStats.to_dict`` keys shown by :func:`per_rank_table`, in order.
+_PER_RANK_COLUMNS = (
+    "tasks_executed",
+    "steals_attempted",
+    "steals_successful",
+    "tasks_stolen",
+    "td_msgs",
+    "waves",
+    "efficiency",
+)
+
+
+def per_rank_table(stats: Sequence["ProcessStats"], title: str = "per-rank") -> str:
+    """Render one row per rank from :meth:`ProcessStats.to_dict`."""
+    headers = ["rank"] + [c.replace("_", " ") for c in _PER_RANK_COLUMNS]
+    rows = []
+    for st in stats:
+        d = st.to_dict()
+        row: list[object] = [d["rank"]]
+        for c in _PER_RANK_COLUMNS:
+            v = d[c]
+            row.append(f"{v:.3f}" if isinstance(v, float) else v)
+        rows.append(row)
+    return format_table(headers, rows, title=f"== {title} ==")
 
 
 def paper_vs_measured(

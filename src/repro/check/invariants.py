@@ -1,6 +1,6 @@
 """Protocol invariants checked against the simulation event stream.
 
-Checkers are post-hoc: the runner attaches a :class:`~repro.sim.tracing.Tracer`
+Checkers are post-hoc: the runner attaches a :class:`~repro.obs.tracing.Tracer`
 to the engine, runs one schedule, and hands the recorded event list to
 each checker.  Because the tracer appends events at the protocol's
 linearization points (queue mutations inside the one-sided closures,
@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.tracing import TraceEvent
+from repro.obs.tracing import TraceEvent
 
 __all__ = [
     "Violation",

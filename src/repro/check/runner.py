@@ -28,7 +28,7 @@ from repro.check.scenarios import Scenario, make_scenario
 from repro.check.strategies import ExplorationStrategy, ReplayStrategy, make_strategy
 from repro.check.traces import DecisionTrace, minimize_decisions
 from repro.sim.engine import Engine, SchedulingStrategy
-from repro.sim.tracing import Tracer
+from repro.obs.tracing import Tracer
 from repro.util.errors import ReproError, SimDeadlockError
 
 __all__ = ["RunOutcome", "FailureReport", "ExploreResult", "run_once", "explore", "replay"]

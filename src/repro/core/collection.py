@@ -32,7 +32,7 @@ from repro.core.task import Task
 from repro.core.termination import TerminationDetector
 from repro.sim.engine import Engine, Proc
 from repro.sim.counters import Counters
-from repro.sim.tracing import trace
+from repro.obs.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["TaskCollection"]

@@ -33,7 +33,7 @@ from repro.armci.runtime import Armci
 from repro.core.collection import TaskCollection
 from repro.core.stats import ProcessStats
 from repro.core.task import AFFINITY_HIGH, Task
-from repro.sim.tracing import trace
+from repro.obs.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["TaskGraph"]

@@ -31,9 +31,10 @@ from repro.analyze import hooks
 from repro.armci.runtime import Armci
 from repro.core.config import SciotoConfig
 from repro.core.task import Task
+from repro.obs.record import observe, span
+from repro.obs.tracing import trace
 from repro.sim.engine import Engine, Proc
 from repro.sim.counters import Counters
-from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -202,7 +203,9 @@ class SplitQueue:
             del self._private[-k:]
             self._shared.sort(key=lambda t: -t.affinity)
 
-        self._owner_split_update(proc, _move)
+        observe(proc, "queue_occupancy", self.size())
+        with span(proc, "release", "queue", detail=k):
+            self._owner_split_update(proc, _move)
         self.counters.add(proc.rank, "release_ops")
         self.counters.add(proc.rank, "tasks_released", k)
 
@@ -218,7 +221,9 @@ class SplitQueue:
             self._private.extend(self._shared[:k])
             del self._shared[:k]
 
-        self._owner_split_update(proc, _move)
+        observe(proc, "queue_occupancy", self.size())
+        with span(proc, "reacquire", "queue", detail=k):
+            self._owner_split_update(proc, _move)
         self.counters.add(proc.rank, "reacquire_ops")
         self.counters.add(proc.rank, "tasks_reacquired", k)
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from repro.armci.runtime import Armci
 from repro.core.stats import ProcessStats
 from repro.core.stealing import make_victim_selector
-from repro.sim.tracing import trace
+from repro.obs.record import Recorder, observe, span
+from repro.obs.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["run_process"]
@@ -70,7 +71,9 @@ def run_process(tc) -> ProcessStats:
                     ) from None
                 t0 = proc.now
                 trace(proc, "task-exec", task.uid)
-                fn(tc, task)
+                with span(proc, "task", "task", detail=task.uid):
+                    fn(tc, task)
+                observe(proc, "task_time", proc.now - t0)
                 time_working += proc.now - t0
                 executed += 1
                 continue
@@ -82,15 +85,21 @@ def run_process(tc) -> ProcessStats:
                 break
             if cfg.load_balancing and proc.nprocs > 1:
                 victim = selector.next_victim()
-                got = shared.queues[victim].steal_from(
-                    proc, cfg.chunk_size, probe_first=fail_streak > 0
-                )
-                selector.report(victim, bool(got))
+                t_steal = proc.now
+                with span(proc, "steal", "steal", detail=victim):
+                    got = shared.queues[victim].steal_from(
+                        proc, cfg.chunk_size, probe_first=fail_streak > 0
+                    )
+                    selector.report(victim, bool(got))
+                    if got:
+                        td.note_steal(proc, victim)
+                        queue.absorb_stolen(proc, got)
                 if got:
-                    td.note_steal(proc, victim)
-                    queue.absorb_stolen(proc, got)
+                    observe(proc, "steal_latency", proc.now - t_steal)
+                    observe(proc, "steal_chunk", len(got))
                     fail_streak = 0
                     continue
+                observe(proc, "steal_fail_latency", proc.now - t_steal)
                 fail_streak += 1
             # Exponential backoff between failed steals; woken early the
             # moment a termination token lands in the mailbox.
@@ -98,7 +107,10 @@ def run_process(tc) -> ProcessStats:
                 cfg.idle_backoff * (1 << min(fail_streak, 16)),
                 cfg.max_idle_backoff,
             )
-            armci.wait_mailbox(proc, td.tag, backoff)
+            t_idle = proc.now
+            with span(proc, "idle-wait", "idle", detail=fail_streak):
+                armci.wait_mailbox(proc, td.tag, backoff)
+            observe(proc, "idle_wait", proc.now - t_idle)
     finally:
         shared.active[proc.rank] = None
 
@@ -107,6 +119,10 @@ def run_process(tc) -> ProcessStats:
             f"rank {proc.rank}: termination detected with {queue.size()} "
             "tasks still queued (protocol violation)"
         )
+
+    rec = Recorder.of(proc.engine)
+    if rec is not None:
+        rec.complete_span(proc, "tc_process", "runtime", t_start, detail=generation)
 
     stats = ProcessStats(
         rank=proc.rank,

@@ -1,8 +1,16 @@
-"""Per-process statistics for one ``tc_process`` phase."""
+"""Per-process statistics for one ``tc_process`` phase.
+
+These are the *core* per-phase numbers every caller gets back from
+``TaskCollection.process``.  Auxiliary measurements (latency
+distributions, queue occupancy, lock hold times, ...) live in the
+:class:`repro.obs.metrics.MetricsRegistry` of an attached
+:class:`repro.obs.record.Recorder` rather than in a free-form dict
+here — attach a recorder to the engine to collect them.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 __all__ = ["ProcessStats"]
 
@@ -29,7 +37,6 @@ class ProcessStats:
     dirty_msgs_skipped: int = 0
     td_msgs: int = 0
     waves: int = 0
-    extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def time_overhead(self) -> float:
@@ -40,3 +47,13 @@ class ProcessStats:
     def efficiency(self) -> float:
         """Fraction of the phase spent executing tasks."""
         return self.time_working / self.time_total if self.time_total > 0 else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        """All fields plus the derived properties, JSON-ready.
+
+        Used by the bench report and the ``repro.obs`` metrics exporter.
+        """
+        d: dict[str, float | int] = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["time_overhead"] = self.time_overhead
+        d["efficiency"] = self.efficiency
+        return d

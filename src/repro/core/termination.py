@@ -35,9 +35,10 @@ from __future__ import annotations
 
 from repro.analyze import hooks
 from repro.armci.runtime import Armci
+from repro.obs.record import Recorder, instant
+from repro.obs.tracing import trace
 from repro.sim.engine import Engine, Proc
 from repro.sim.counters import Counters
-from repro.sim.tracing import trace
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["TerminationDetector", "is_descendant", "tree_children", "tree_parent"]
@@ -105,6 +106,7 @@ class TerminationDetector:
         self.wave = 0
         self.child_tokens: dict[int, int] = {}
         self.done = False
+        self._wave_started = 0.0  # root's wave launch time (obs only)
 
     # ------------------------------------------------------------------ #
     # Load-balancing hooks
@@ -125,8 +127,10 @@ class TerminationDetector:
             self.armci.put(
                 proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
             )
+            instant(proc, "dirty-mark", "termination", detail=victim)
             self.counters.add(proc.rank, "dirty_msgs")
         else:
+            instant(proc, "dirty-mark-skipped", "termination", detail=victim)
             self.counters.add(proc.rank, "dirty_msgs_skipped")
 
     def note_remote_add(self, proc: Proc, target: int) -> None:
@@ -235,12 +239,25 @@ class TerminationDetector:
             self.wave += 1
             self.in_wave = True
             self.child_tokens = {}
+            self._wave_started = proc.now
             self.counters.add(proc.rank, "waves")
             for c in self.children:
                 self._send(proc, c, ("down", self.wave))
         if len(self.child_tokens) < len(self.children):
             return
         color = self._combined_color(proc)
+        rec = Recorder.of(self.engine)
+        if rec is not None:
+            rec.metrics.observe(
+                "wave_rtt", proc.now - self._wave_started, rank=proc.rank
+            )
+            rec.complete_span(
+                proc,
+                f"wave {self.wave}",
+                "termination",
+                self._wave_started,
+                detail="white" if color == WHITE else "black",
+            )
         hooks.flag_write(proc, ("td-dirty", self.tag, self.rank))
         self.dirty = False
         self.in_wave = False

@@ -1,0 +1,93 @@
+"""``repro.obs`` — unified observability: spans, metrics, timeline export.
+
+The paper's whole evaluation (§6) is about *where time goes* — task
+execution vs. queue management vs. stealing vs. termination.  This
+package is the instrumentation that answers that question for the
+simulated runtime:
+
+* **Spans** (:mod:`repro.obs.record`): nested virtual-time intervals
+  recorded by the runtime layers — task execution, steal attempts,
+  split-queue moves, lock waits, termination waves, one-sided
+  operations.  Attach-based and zero-cost when off, like the tracer
+  and the race detector; recording never perturbs the deterministic
+  schedule.
+* **Metrics** (:mod:`repro.obs.metrics`): counters (the long-standing
+  ``Counters`` map is now a facade over :class:`CounterFamily`),
+  gauges, and fixed-bucket histograms (steal latency, stolen chunk
+  size, queue occupancy, wave round-trip, lock hold/wait).
+* **Events** (:mod:`repro.obs.tracing`): the structured event tracer,
+  re-homed here from ``repro.sim.tracing`` (old path is a deprecated
+  shim).
+* **Exporters** (:mod:`repro.obs.export`): Chrome ``trace_event`` JSON
+  (open in Perfetto), flat metrics JSON, ASCII per-rank timeline.
+* **Analysis** (:mod:`repro.obs.analyze`): post-hoc summaries and
+  critical-idle gap hunting over exported traces.
+
+CLI::
+
+    python -m repro.obs run uts-small --trace out.json --metrics m.json
+    python -m repro.obs summarize out.json
+    python -m repro.obs critical-idle out.json --top 10
+    python -m repro.obs verify          # recording-on == recording-off
+
+See ``docs/observability.md`` for the full API and cost model.
+"""
+
+from repro.obs.analyze import IdleGap, critical_idle, load_chrome_trace, summarize
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    ascii_timeline,
+    chrome_trace,
+    metrics_dict,
+    self_times,
+    summary_table,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    CounterFamily,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.record import (
+    InstantRecord,
+    Recorder,
+    SpanRecord,
+    count,
+    instant,
+    observe,
+    sample,
+    span,
+)
+from repro.obs.tracing import TraceEvent, Tracer, trace
+
+__all__ = [
+    "Recorder",
+    "SpanRecord",
+    "InstantRecord",
+    "span",
+    "observe",
+    "count",
+    "sample",
+    "instant",
+    "CounterFamily",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "TraceEvent",
+    "trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_dict",
+    "write_metrics_json",
+    "ascii_timeline",
+    "summary_table",
+    "self_times",
+    "METRICS_SCHEMA",
+    "load_chrome_trace",
+    "summarize",
+    "critical_idle",
+    "IdleGap",
+]

@@ -1,0 +1,161 @@
+"""Command-line entry point for the observability subsystem.
+
+Subcommands:
+
+* ``run`` — execute a target (check scenario or UTS/SCF/TCE preset)
+  with recording on; write a Chrome trace JSON (``--trace``, open it
+  in Perfetto), a metrics JSON (``--metrics``), and/or print the ASCII
+  timeline and summary.
+* ``summarize`` — post-hoc report over an exported trace JSON.
+* ``critical-idle`` — the longest per-rank idle gaps in an exported
+  trace, with the spans that bounded them.
+* ``verify`` — run targets twice, recording off and on, and require
+  the virtual-time fingerprints (elapsed, event count, per-rank clocks
+  and every ``Counters`` value) to match bit-for-bit.  Exits 1 on any
+  divergence.
+
+Examples::
+
+    python -m repro.obs run uts-small --trace out.json --metrics m.json
+    python -m repro.obs run steals --timeline
+    python -m repro.obs summarize out.json --top 10
+    python -m repro.obs critical-idle out.json
+    python -m repro.obs verify queue termination steals
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.check.scenarios import SCENARIOS as CHECK_SCENARIOS
+from repro.obs.analyze import critical_idle, load_chrome_trace, summarize
+from repro.obs.export import (
+    ascii_timeline,
+    summary_table,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.scenarios import TARGETS, fingerprint, run_target
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    run = run_target(args.target, nprocs=args.nprocs, seed=args.seed)
+    rec = run.recorder
+    assert rec is not None
+    print(
+        f"{run.target}: {run.elapsed * 1e3:.3f} ms virtual, "
+        f"{run.events} engine events, {len(rec.spans)} spans "
+        f"({rec.dropped} dropped), {len(rec.instants)} instants"
+    )
+    for k, v in run.extra.items():
+        print(f"  {k}: {v}")
+    if args.trace:
+        path = write_chrome_trace(rec, args.trace, tracer=run.tracer)
+        print(f"chrome trace -> {path} (open in https://ui.perfetto.dev)")
+    if args.metrics:
+        pstats = (
+            [s.to_dict() for s in run.process_stats]
+            if run.process_stats is not None
+            else None
+        )
+        path = write_metrics_json(rec, args.metrics, process_stats=pstats)
+        print(f"metrics json -> {path}")
+    if args.timeline:
+        print()
+        print(ascii_timeline(rec.spans, run.engine.nprocs, width=args.width))
+        print()
+        print(summary_table(rec.spans, run.engine.nprocs))
+        if run.process_stats is not None:
+            from repro.bench.report import per_rank_table
+
+            print()
+            print(per_rank_table(run.process_stats, title=f"{run.target} per-rank"))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    spans = load_chrome_trace(args.trace)
+    print(summarize(spans, width=args.width, top=args.top))
+    return 0
+
+
+def _cmd_critical_idle(args: argparse.Namespace) -> int:
+    spans = load_chrome_trace(args.trace)
+    gaps = critical_idle(spans, top=args.top)
+    if not gaps:
+        print("no idle gaps between spans")
+        return 0
+    print(f"longest {len(gaps)} idle gaps:")
+    for g in gaps:
+        print(f"  {g.describe()}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    targets = args.targets or sorted(CHECK_SCENARIOS)
+    bad = 0
+    for name in targets:
+        base = fingerprint(
+            run_target(name, nprocs=args.nprocs, seed=args.seed, record=False)
+        )
+        rec = fingerprint(
+            run_target(name, nprocs=args.nprocs, seed=args.seed, record=True)
+        )
+        if base == rec:
+            print(f"{name}: ok (recording leaves the run bit-for-bit unchanged)")
+            continue
+        bad += 1
+        print(f"{name}: DIVERGED with recording on")
+        for key in sorted(set(base) | set(rec)):
+            if base.get(key) != rec.get(key):
+                print(f"  {key}: off={base.get(key)!r}")
+                print(f"  {key}:  on={rec.get(key)!r}")
+    print(f"\n{len(targets) - bad}/{len(targets)} targets deterministic under recording")
+    return 1 if bad else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a target with recording on")
+    p_run.add_argument("target", choices=sorted(TARGETS))
+    p_run.add_argument("--nprocs", type=int, default=4,
+                       help="rank count for application presets")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--trace", metavar="PATH",
+                       help="write Chrome trace_event JSON here")
+    p_run.add_argument("--metrics", metavar="PATH",
+                       help="write flat metrics JSON here")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print the ASCII per-rank timeline + summary")
+    p_run.add_argument("--width", type=int, default=80)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sum = sub.add_parser("summarize", help="report over an exported trace")
+    p_sum.add_argument("trace", help="Chrome trace JSON written by 'run'")
+    p_sum.add_argument("--top", type=int, default=5)
+    p_sum.add_argument("--width", type=int, default=80)
+    p_sum.set_defaults(fn=_cmd_summarize)
+
+    p_idle = sub.add_parser("critical-idle", help="longest per-rank idle gaps")
+    p_idle.add_argument("trace", help="Chrome trace JSON written by 'run'")
+    p_idle.add_argument("--top", type=int, default=5)
+    p_idle.set_defaults(fn=_cmd_critical_idle)
+
+    p_ver = sub.add_parser(
+        "verify", help="recording-on == recording-off determinism check"
+    )
+    p_ver.add_argument("targets", nargs="*",
+                       help="targets to verify (default: all check scenarios)")
+    p_ver.add_argument("--nprocs", type=int, default=4)
+    p_ver.add_argument("--seed", type=int, default=0)
+    p_ver.set_defaults(fn=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,308 @@
+"""Exporters: Chrome ``trace_event`` JSON, metrics JSON, ASCII timeline.
+
+Three views of one recording:
+
+* :func:`chrome_trace` — the Chrome/Perfetto ``trace_event`` format
+  (load the file at https://ui.perfetto.dev or ``chrome://tracing``).
+  One track (``tid``) per rank, spans as complete (``"ph": "X"``)
+  events, marker events as instants (``"ph": "i"``).  Timestamps are
+  microseconds of *virtual* time.
+* :func:`metrics_dict` — a flat JSON document with counter totals,
+  per-rank counters, gauges, and histograms, suitable for diffing
+  between runs.
+* :func:`ascii_timeline` + :func:`summary_table` — terminal rendering:
+  one row per rank, one character per time bucket, colored by the
+  dominant span category, plus a per-rank breakdown of where virtual
+  time went.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs.record import Recorder, SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracing import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_dict",
+    "write_metrics_json",
+    "ascii_timeline",
+    "summary_table",
+    "self_times",
+    "METRICS_SCHEMA",
+]
+
+#: Schema tag stamped into every metrics JSON document.
+METRICS_SCHEMA = "repro-obs-metrics/1"
+
+#: Category -> single character used by the ASCII timeline, in priority
+#: order (earlier wins when a bucket holds several categories).
+CATEGORY_CHARS: tuple[tuple[str, str], ...] = (
+    ("task", "T"),
+    ("steal", "S"),
+    ("queue", "Q"),
+    ("lock", "L"),
+    ("termination", "W"),
+    ("comm", "C"),
+    ("idle", "i"),
+    ("runtime", "r"),
+)
+
+
+def _span_args(span: SpanRecord) -> dict | None:
+    if span.detail is None:
+        return None
+    return {"detail": str(span.detail)}
+
+
+def chrome_trace(recorder: Recorder, tracer: "Tracer | None" = None) -> dict:
+    """Build a Chrome ``trace_event`` document from a recording.
+
+    Args:
+        recorder: The engine's span/metrics recorder.
+        tracer: Optional structured-event tracer; its events are added
+            as instant events on the owning rank's track.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "scioto-sim"},
+        }
+    ]
+    ranks = range(recorder.engine.nprocs)
+    for r in ranks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": r,
+                "args": {"name": f"rank {r}"},
+            }
+        )
+        # Perfetto sorts tracks by this index; keep rank order.
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": r,
+                "args": {"sort_index": r},
+            }
+        )
+    span_events = []
+    for span in recorder.spans:
+        if span.end is None:
+            continue  # still open: the run aborted inside this span
+        ev = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 0,
+            "tid": span.rank,
+        }
+        args = _span_args(span)
+        if args is not None:
+            ev["args"] = args
+        span_events.append(ev)
+    # Spans recorded out-of-stack (Recorder.complete_span) are appended
+    # at close time; re-sort so each rank's track is start-ordered, with
+    # the enclosing span first on ties.
+    span_events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    events.extend(span_events)
+    for inst in recorder.instants:
+        events.append(
+            {
+                "name": inst.name,
+                "cat": inst.category,
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": inst.time * 1e6,
+                "pid": 0,
+                "tid": inst.rank,
+            }
+        )
+    if tracer is not None:
+        for e in tracer.events:
+            events.append(
+                {
+                    "name": e.kind,
+                    "cat": "trace",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.time * 1e6,
+                    "pid": 0,
+                    "tid": e.rank,
+                    "args": {} if e.detail is None else {"detail": str(e.detail)},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro.obs",
+            "spans_recorded": len(recorder.spans),
+            "spans_dropped": recorder.dropped,
+        },
+    }
+
+
+def write_chrome_trace(
+    recorder: Recorder, path: str | Path, tracer: "Tracer | None" = None
+) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(recorder, tracer)))
+    return path
+
+
+def metrics_dict(
+    recorder: Recorder, process_stats: list[dict] | None = None
+) -> dict:
+    """Flat metrics document: counters, gauges, histograms, span stats."""
+    by_cat: dict[str, int] = defaultdict(int)
+    for s in recorder.spans:
+        by_cat[s.category] += 1
+    doc = {
+        "schema": METRICS_SCHEMA,
+        "nprocs": recorder.engine.nprocs,
+        **recorder.metrics.to_dict(),
+        "spans": {
+            "recorded": len(recorder.spans),
+            "dropped": recorder.dropped,
+            "instants": len(recorder.instants),
+            "by_category": dict(sorted(by_cat.items())),
+        },
+    }
+    if process_stats is not None:
+        doc["process_stats"] = process_stats
+    return doc
+
+
+def write_metrics_json(
+    recorder: Recorder,
+    path: str | Path,
+    process_stats: list[dict] | None = None,
+) -> Path:
+    """Write the metrics JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(metrics_dict(recorder, process_stats), indent=2))
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Terminal rendering
+# ---------------------------------------------------------------------- #
+def _category_priority() -> dict[str, int]:
+    return {cat: i for i, (cat, _) in enumerate(CATEGORY_CHARS)}
+
+
+def ascii_timeline(
+    spans: list[SpanRecord], nprocs: int, width: int = 80
+) -> str:
+    """One row per rank, one character per time bucket.
+
+    The character is the highest-priority span category active in that
+    bucket (``T`` task, ``S`` steal, ``Q`` queue move, ``L`` lock,
+    ``W`` termination, ``C`` comm, ``i`` idle, ``.`` nothing recorded).
+    """
+    finished = [s for s in spans if s.end is not None]
+    if not finished:
+        return "(no finished spans)"
+    t0 = min(s.start for s in finished)
+    t1 = max(s.end for s in finished)
+    extent = max(t1 - t0, 1e-12)
+    prio = _category_priority()
+    chars = dict(CATEGORY_CHARS)
+    # grid[rank][bucket] = priority index of the best category seen
+    grid = [[None] * width for _ in range(nprocs)]
+    for s in finished:
+        p = prio.get(s.category, len(prio))
+        b0 = int((s.start - t0) / extent * width)
+        b1 = int((s.end - t0) / extent * width)
+        b0 = min(b0, width - 1)
+        b1 = min(b1, width - 1)
+        row = grid[s.rank]
+        for b in range(b0, b1 + 1):
+            if row[b] is None or p < row[b]:
+                row[b] = p
+    cats = [c for c, _ in CATEGORY_CHARS]
+    lines = [
+        f"timeline: {extent * 1e6:.3f} us across {width} buckets "
+        f"({extent / width * 1e6:.3f} us/bucket)"
+    ]
+    for r in range(nprocs):
+        row = "".join(
+            "." if p is None else chars.get(cats[p], "?") if p < len(cats) else "?"
+            for p in grid[r]
+        )
+        lines.append(f"rank {r:3d} |{row}|")
+    legend = "  ".join(f"{ch}={cat}" for cat, ch in CATEGORY_CHARS)
+    lines.append(f"legend: {legend}  .=no span")
+    return "\n".join(lines)
+
+
+def self_times(spans: list[SpanRecord]) -> dict[int, dict[str, float]]:
+    """Per-rank exclusive (self) time by category.
+
+    A span's self time is its duration minus its *immediate* children's
+    durations, so nested spans are not double counted.  Nesting is
+    decided by time containment on each rank's track (the same rule
+    Perfetto uses), which also handles spans recorded out-of-stack via
+    ``Recorder.complete_span`` (waves, lock waits, ``tc_process``).
+    """
+    by_rank: dict[int, list[SpanRecord]] = defaultdict(list)
+    for s in spans:
+        if s.end is not None:
+            by_rank[s.rank].append(s)
+    out: dict[int, dict[str, float]] = {}
+    for rank, rs in by_rank.items():
+        # Parents sort before children: earlier start first, and on a
+        # tie the longer (enclosing) span first.
+        rs.sort(key=lambda s: (s.start, -s.end))
+        self_time = [s.duration for s in rs]
+        stack: list[int] = []  # indexes into rs, innermost open span last
+        for i, s in enumerate(rs):
+            while stack and rs[stack[-1]].end <= s.start:
+                stack.pop()
+            if stack:
+                self_time[stack[-1]] -= s.duration
+            stack.append(i)
+        cat_time: dict[str, float] = defaultdict(float)
+        for s, t in zip(rs, self_time):
+            cat_time[s.category] += max(t, 0.0)
+        out[rank] = dict(cat_time)
+    return out
+
+
+def summary_table(spans: list[SpanRecord], nprocs: int) -> str:
+    """Per-rank breakdown of exclusive span time by category."""
+    times = self_times(spans)
+    cats = sorted({c for v in times.values() for c in v})
+    if not cats:
+        return "(no finished spans)"
+    header = ["rank"] + [f"{c}(us)" for c in cats] + ["spans"]
+    counts: dict[int, int] = defaultdict(int)
+    for s in spans:
+        if s.end is not None:
+            counts[s.rank] += 1
+    lines = ["  ".join(f"{h:>12}" for h in header)]
+    for r in range(nprocs):
+        row = [str(r)]
+        for c in cats:
+            row.append(f"{times.get(r, {}).get(c, 0.0) * 1e6:.3f}")
+        row.append(str(counts.get(r, 0)))
+        lines.append("  ".join(f"{v:>12}" for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+This module is the storage layer of the observability subsystem.  It
+deliberately imports nothing from the runtime layers (``repro.sim``,
+``repro.core``, ``repro.armci``) so that any of them can import it
+without cycles — the same rule :mod:`repro.analyze.hooks` follows.
+
+Three metric kinds cover the paper's evaluation needs (§6):
+
+* :class:`CounterFamily` — the two-level ``rank -> key -> float`` map
+  the benchmarks have always read.  :class:`repro.sim.counters.Counters`
+  is now a thin compatibility facade over this class.
+* :class:`Gauge` — a per-rank last-value sample (queue occupancy and
+  the like), with min/max/sample-count retained.
+* :class:`Histogram` — fixed bucket edges chosen per metric name
+  (:data:`DEFAULT_BUCKETS`), with an overflow bucket, plus per-rank
+  count/sum so summaries can localize skew.
+
+Bucket convention: a value ``v`` lands in the first bucket ``i`` with
+``v <= edges[i]``; values above ``edges[-1]`` land in the overflow
+bucket (index ``len(edges)``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+
+__all__ = [
+    "CounterFamily",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TIME_BUCKETS",
+    "COUNT_BUCKETS",
+]
+
+
+class CounterFamily:
+    """A two-level counter map: ``counters[rank][key] -> float``.
+
+    Also maintains a global aggregate accessible via :meth:`total`.
+    """
+
+    def __init__(self) -> None:
+        self._per_rank: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+
+    def add(self, rank: int, key: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``key`` of ``rank``."""
+        self._per_rank[rank][key] += amount
+
+    def get(self, rank: int, key: str) -> float:
+        """Return counter ``key`` of ``rank`` (0.0 if never touched)."""
+        return self._per_rank[rank].get(key, 0.0)
+
+    def total(self, key: str) -> float:
+        """Sum of counter ``key`` across all ranks."""
+        return sum(c.get(key, 0.0) for c in self._per_rank.values())
+
+    def keys(self) -> set[str]:
+        """All counter names that have been touched on any rank."""
+        out: set[str] = set()
+        for c in self._per_rank.values():
+            out.update(c.keys())
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        """Aggregate view ``{key: total}`` across ranks."""
+        return {k: self.total(k) for k in sorted(self.keys())}
+
+    def per_rank_snapshot(self) -> dict[int, dict[str, float]]:
+        """Full view ``{rank: {key: value}}`` (ranks and keys sorted)."""
+        return {
+            rank: {k: v for k, v in sorted(self._per_rank[rank].items())}
+            for rank in sorted(self._per_rank)
+        }
+
+
+class Gauge:
+    """A per-rank sampled value; remembers last/min/max and sample count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.last: dict[int, float] = {}
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples = 0
+
+    def set(self, rank: int, value: float) -> None:
+        """Record ``value`` as the gauge's current reading on ``rank``."""
+        self.last[rank] = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.samples += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "last": {str(r): v for r, v in sorted(self.last.items())},
+            "min": self.min if self.samples else None,
+            "max": self.max if self.samples else None,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """A fixed-bucket histogram with an overflow bucket.
+
+    ``counts[i]`` counts observations ``v`` with
+    ``edges[i-1] < v <= edges[i]`` (``counts[len(edges)]`` is the
+    overflow bucket).  Per-rank count/sum are kept alongside the global
+    distribution so summaries can show which ranks dominate.
+    """
+
+    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram edges must be strictly increasing, got {edges!r}")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._rank_count: dict[int, int] = defaultdict(int)
+        self._rank_sum: dict[int, float] = defaultdict(float)
+
+    def observe(self, value: float, rank: int | None = None) -> None:
+        """Record one observation (optionally attributed to ``rank``)."""
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if rank is not None:
+            self._rank_count[rank] += 1
+            self._rank_sum[rank] += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding it.
+
+        Overflow observations report the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                return self.edges[i] if i < len(self.edges) else self.max
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "per_rank": {
+                str(r): {"count": self._rank_count[r], "sum": self._rank_sum[r]}
+                for r in sorted(self._rank_count)
+            },
+        }
+
+
+def _log_buckets(lo: float, hi: float, per_decade: int = 3) -> tuple[float, ...]:
+    """Log-spaced bucket edges from ``lo`` to ``hi`` inclusive."""
+    n = int(round(math.log10(hi / lo) * per_decade))
+    return tuple(lo * (hi / lo) ** (i / n) for i in range(n + 1))
+
+
+#: Latency-style default edges: 50ns .. 100ms, 3 buckets per decade.
+TIME_BUCKETS: tuple[float, ...] = _log_buckets(50e-9, 100e-3, per_decade=3)
+
+#: Small-integer default edges (chunk sizes, queue occupancy).
+COUNT_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Per-metric bucket edges; unnamed metrics fall back to TIME_BUCKETS.
+DEFAULT_BUCKETS: dict[str, tuple[float, ...]] = {
+    "steal_latency": TIME_BUCKETS,
+    "steal_fail_latency": TIME_BUCKETS,
+    "steal_chunk": COUNT_BUCKETS,
+    "queue_occupancy": COUNT_BUCKETS,
+    "wave_rtt": TIME_BUCKETS,
+    "lock_wait": TIME_BUCKETS,
+    "lock_hold": TIME_BUCKETS,
+    "task_time": TIME_BUCKETS,
+    "idle_wait": TIME_BUCKETS,
+}
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges, and histograms.
+
+    The observability :class:`~repro.obs.record.Recorder` owns one
+    registry per engine; metrics created on demand get their bucket
+    edges from :data:`DEFAULT_BUCKETS`.
+    """
+
+    def __init__(self) -> None:
+        self.counters = CounterFamily()
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- creation-on-demand ------------------------------------------- #
+    def histogram(self, name: str, edges: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = Histogram(name, edges or DEFAULT_BUCKETS.get(name, TIME_BUCKETS))
+            self.histograms[name] = h
+        return h
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = Gauge(name)
+            self.gauges[name] = g
+        return g
+
+    # -- recording ----------------------------------------------------- #
+    def observe(self, name: str, value: float, rank: int | None = None) -> None:
+        """Observe ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value, rank)
+
+    def sample(self, name: str, rank: int, value: float) -> None:
+        """Set gauge ``name`` on ``rank`` to ``value``."""
+        self.gauge(name).set(rank, value)
+
+    def add(self, rank: int, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` of ``rank``."""
+        self.counters.add(rank, key, amount)
+
+    # -- export -------------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """JSON-ready view of every metric in the registry."""
+        return {
+            "counters": {
+                "total": self.counters.snapshot(),
+                "per_rank": {
+                    str(r): v for r, v in self.counters.per_rank_snapshot().items()
+                },
+            },
+            "gauges": {k: g.to_dict() for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,262 @@
+"""The span recorder: nested virtual-time spans plus the metrics registry.
+
+A :class:`Recorder` attaches to an engine exactly like the tracer and
+the race detector: ``Recorder.attach(engine)`` before ``engine.run()``,
+``Recorder.of(engine)`` afterwards.  The runtime layers call the free
+functions in this module (:func:`span`, :func:`observe`, :func:`count`,
+:func:`sample`, :func:`instant`) at their interesting points; when no
+recorder is attached each call costs a single dict probe and records
+nothing, so instrumented code stays safe on hot paths.
+
+Recording is an *observer* of virtual time: hooks only ever read
+``proc.now`` — they never advance a clock, yield to the engine, or touch
+an RNG — so enabling it leaves the deterministic schedule, all virtual
+timings, and all `Counters` totals bit-for-bit unchanged (tested, and
+checkable with ``python -m repro.obs verify``).
+
+Span nesting is per rank: spans opened while another span of the same
+rank is still open become its children (``depth``/``parent``), which is
+what lets the Chrome-trace exporter draw one stacked track per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine, Proc
+
+__all__ = [
+    "Recorder",
+    "SpanRecord",
+    "InstantRecord",
+    "span",
+    "observe",
+    "count",
+    "sample",
+    "instant",
+]
+
+_KEY = "obs"
+
+
+@dataclass
+class SpanRecord:
+    """One (possibly still open) recorded span."""
+
+    rank: int
+    name: str
+    category: str
+    start: float
+    end: float | None = None
+    depth: int = 0
+    parent: int | None = None  #: index of the enclosing span, or None
+    detail: Any = None
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """A zero-duration marker event (e.g. a dirty mark landing)."""
+
+    time: float
+    rank: int
+    name: str
+    category: str
+    detail: Any = None
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when recording is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager that closes its span at the rank's current time."""
+
+    __slots__ = ("_rec", "_proc", "_index")
+
+    def __init__(self, rec: "Recorder", proc: "Proc", index: int | None) -> None:
+        self._rec = rec
+        self._proc = proc
+        self._index = index
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._rec._close(self._proc, self._index)
+        return False
+
+
+class Recorder:
+    """Engine-wide span + metrics recorder (attach-based, off by default)."""
+
+    _KEY = _KEY
+
+    def __init__(self, engine: "Engine", capacity: int = 2_000_000) -> None:
+        self.engine = engine
+        self.capacity = capacity
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        self.dropped = 0
+        self.metrics = MetricsRegistry()
+        # per-rank stacks of open span indexes (None = dropped placeholder)
+        self._stacks: list[list[int | None]] = [[] for _ in range(engine.nprocs)]
+
+    @classmethod
+    def attach(cls, engine: "Engine", capacity: int = 2_000_000) -> "Recorder":
+        """Enable recording on ``engine`` (idempotent)."""
+        inst = engine.state.get(cls._KEY)
+        if inst is None:
+            inst = cls(engine, capacity)
+            engine.state[cls._KEY] = inst
+        return inst
+
+    @classmethod
+    def of(cls, engine: "Engine") -> "Recorder | None":
+        """The engine's recorder, or None if recording is off."""
+        return engine.state.get(cls._KEY)
+
+    # ------------------------------------------------------------------ #
+    # Span API
+    # ------------------------------------------------------------------ #
+    def span(self, proc: "Proc", name: str, category: str, detail: Any = None) -> _OpenSpan:
+        """Open a span on ``proc``'s rank; close it by exiting the context."""
+        stack = self._stacks[proc.rank]
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            stack.append(None)
+            return _OpenSpan(self, proc, None)
+        parent = next((i for i in reversed(stack) if i is not None), None)
+        index = len(self.spans)
+        self.spans.append(
+            SpanRecord(
+                rank=proc.rank,
+                name=name,
+                category=category,
+                start=proc.now,
+                depth=len(stack),
+                parent=parent,
+                detail=detail,
+            )
+        )
+        stack.append(index)
+        return _OpenSpan(self, proc, index)
+
+    def _close(self, proc: "Proc", index: int | None) -> None:
+        stack = self._stacks[proc.rank]
+        if not stack or stack[-1] != index:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span close out of order on rank {proc.rank}: "
+                f"closing {index}, top of stack is {stack[-1] if stack else None}"
+            )
+        stack.pop()
+        if index is not None:
+            self.spans[index].end = proc.now
+
+    def complete_span(
+        self,
+        proc: "Proc",
+        name: str,
+        category: str,
+        start: float,
+        detail: Any = None,
+    ) -> None:
+        """Record an already-finished span from ``start`` to ``proc.now``.
+
+        For protocol intervals that do not nest with the call stack —
+        e.g. a termination wave (launched in one scheduler iteration,
+        completed in a later one) or a contended lock wait.  Recorded at
+        depth 0; it still lands on the rank's track in the exports.
+        """
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self.spans.append(
+            SpanRecord(
+                rank=proc.rank,
+                name=name,
+                category=category,
+                start=start,
+                end=proc.now,
+                detail=detail,
+            )
+        )
+
+    def instant_event(
+        self, proc: "Proc", name: str, category: str, detail: Any = None
+    ) -> None:
+        """Record a zero-duration marker at the rank's current time."""
+        if len(self.instants) >= self.capacity:
+            self.dropped += 1
+            return
+        self.instants.append(
+            InstantRecord(proc.now, proc.rank, name, category, detail)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def finished_spans(self) -> list[SpanRecord]:
+        """All spans that have been closed (open ones are excluded)."""
+        return [s for s in self.spans if s.end is not None]
+
+    def by_category(self, category: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.category == category]
+
+
+# ---------------------------------------------------------------------- #
+# Free-function hooks (zero-cost when no recorder is attached)
+# ---------------------------------------------------------------------- #
+def span(proc: "Proc", name: str, category: str = "runtime", detail: Any = None):
+    """Context manager recording a span on ``proc``'s rank (no-op when off)."""
+    rec = proc.engine.state.get(_KEY)
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(proc, name, category, detail)
+
+
+def observe(proc: "Proc", name: str, value: float) -> None:
+    """Observe ``value`` into histogram ``name`` (no-op when off)."""
+    rec = proc.engine.state.get(_KEY)
+    if rec is not None:
+        rec.metrics.observe(name, value, rank=proc.rank)
+
+
+def count(proc: "Proc", name: str, amount: float = 1.0) -> None:
+    """Increment obs counter ``name`` for ``proc``'s rank (no-op when off)."""
+    rec = proc.engine.state.get(_KEY)
+    if rec is not None:
+        rec.metrics.add(proc.rank, name, amount)
+
+
+def sample(proc: "Proc", name: str, value: float) -> None:
+    """Set gauge ``name`` on ``proc``'s rank to ``value`` (no-op when off)."""
+    rec = proc.engine.state.get(_KEY)
+    if rec is not None:
+        rec.metrics.sample(name, proc.rank, value)
+
+
+def instant(proc: "Proc", name: str, category: str = "runtime", detail: Any = None) -> None:
+    """Record a zero-duration marker event (no-op when off)."""
+    rec = proc.engine.state.get(_KEY)
+    if rec is not None:
+        rec.instant_event(proc, name, category, detail)

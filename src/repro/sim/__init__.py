@@ -15,7 +15,7 @@ from repro.sim.machines import (
 )
 from repro.sim.resources import SimBarrier, SimMutex
 from repro.sim.counters import Counters
-from repro.sim.tracing import Tracer, TraceEvent, trace
+from repro.obs.tracing import Tracer, TraceEvent, trace
 
 __all__ = [
     "Engine",

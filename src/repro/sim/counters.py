@@ -3,43 +3,24 @@
 Every layer keeps a :class:`Counters` instance; benchmarks read them to
 report message counts, bytes moved, steals, and the dirty-mark message
 savings of the termination-detector optimization (ablation A2).
+
+The implementation lives in :class:`repro.obs.metrics.CounterFamily`
+(the observability subsystem's counter kind); ``Counters`` remains as a
+thin compatibility facade so the long-standing ``counters.add(rank,
+key)`` call sites and the benchmark readers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from repro.obs.metrics import CounterFamily
 
 __all__ = ["Counters"]
 
 
-class Counters:
+class Counters(CounterFamily):
     """A two-level counter map: ``counters[rank][key] -> float``.
 
-    Also maintains a global aggregate accessible via :meth:`total`.
+    Thin facade over :class:`~repro.obs.metrics.CounterFamily`; see
+    there for the API (``add``/``get``/``total``/``keys``/``snapshot``
+    plus ``per_rank_snapshot``).
     """
-
-    def __init__(self) -> None:
-        self._per_rank: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
-
-    def add(self, rank: int, key: str, amount: float = 1.0) -> None:
-        """Add ``amount`` to counter ``key`` of ``rank``."""
-        self._per_rank[rank][key] += amount
-
-    def get(self, rank: int, key: str) -> float:
-        """Return counter ``key`` of ``rank`` (0.0 if never touched)."""
-        return self._per_rank[rank].get(key, 0.0)
-
-    def total(self, key: str) -> float:
-        """Sum of counter ``key`` across all ranks."""
-        return sum(c.get(key, 0.0) for c in self._per_rank.values())
-
-    def keys(self) -> set[str]:
-        """All counter names that have been touched on any rank."""
-        out: set[str] = set()
-        for c in self._per_rank.values():
-            out.update(c.keys())
-        return out
-
-    def snapshot(self) -> dict[str, float]:
-        """Aggregate view ``{key: total}`` across ranks."""
-        return {k: self.total(k) for k in sorted(self.keys())}

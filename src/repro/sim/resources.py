@@ -14,7 +14,8 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.analyze.race import RaceDetector
-from repro.sim.tracing import trace
+from repro.obs.record import Recorder
+from repro.obs.tracing import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine, Proc
@@ -39,6 +40,7 @@ class SimMutex:
         self._waiters: deque[Proc] = deque()
         self.acquires = 0
         self.contended_acquires = 0
+        self._acquired_at = 0.0  # holder's virtual acquire time (obs only)
 
     def _request_cost(self, proc: Proc) -> float:
         m = self.engine.machine
@@ -50,6 +52,8 @@ class SimMutex:
 
     def acquire(self, proc: Proc) -> None:
         """Block (in virtual time) until ``proc`` holds the mutex."""
+        rec = Recorder.of(self.engine)
+        t_req = proc.now
         proc.advance(self._request_cost(proc))
         proc.sync()
         if self.holder is None:
@@ -59,11 +63,18 @@ class SimMutex:
             self._waiters.append(proc)
             proc.park(f"mutex {self.name}@{self.host_rank}")
             assert self.holder is proc
+            if rec is not None:
+                rec.complete_span(
+                    proc, f"lock-wait {self.name}", "lock", t_req, detail=self.name
+                )
         det = RaceDetector.of(self.engine)
         if det is not None:
             det.on_mutex_acquire(proc, self)
         trace(proc, "mutex-acq", self.name)
         self.acquires += 1
+        if rec is not None:
+            rec.metrics.observe("lock_wait", proc.now - t_req, rank=proc.rank)
+            self._acquired_at = proc.now
 
     def release(self, proc: Proc) -> None:
         """Release the mutex and grant it to the next FIFO waiter, if any."""
@@ -75,6 +86,9 @@ class SimMutex:
         if det is not None:
             det.on_mutex_release(proc, self)
         trace(proc, "mutex-rel", self.name)
+        rec = Recorder.of(self.engine)
+        if rec is not None:
+            rec.metrics.observe("lock_hold", proc.now - self._acquired_at, rank=proc.rank)
         if self._waiters:
             nxt = self._waiters.popleft()
             self.holder = nxt

@@ -48,6 +48,15 @@ class Series:
         """Return the y value recorded at sweep point ``x``."""
         return self.ys[self.xs.index(x)]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by the bench ``BENCH_sim.json`` writer)."""
+        return {
+            "label": self.label,
+            "unit": self.unit,
+            "xs": list(self.xs),
+            "ys": list(self.ys),
+        }
+
 
 @dataclass
 class SweepResult:
@@ -66,3 +75,11 @@ class SweepResult:
 
     def labels(self) -> list[str]:
         return [s.label for s in self.series]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by the bench ``BENCH_sim.json`` writer)."""
+        return {
+            "experiment": self.experiment,
+            "series": [s.to_dict() for s in self.series],
+            "notes": list(self.notes),
+        }

@@ -12,7 +12,7 @@ from repro.check.invariants import (
     NoEarlyTermination,
     QueueConsistency,
 )
-from repro.sim.tracing import TraceEvent
+from repro.obs.tracing import TraceEvent
 
 _clock = itertools.count()
 

@@ -1,0 +1,119 @@
+"""Metrics primitives: histogram bucket edges, gauges, counter facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    TIME_BUCKETS,
+    CounterFamily,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.sim.counters import Counters
+
+
+class TestHistogram:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        h = Histogram("h", edges=(1.0, 2.0, 4.0))
+        h.observe(1.0)  # == edges[0]
+        h.observe(2.0)  # == edges[1]
+        h.observe(4.0)  # == edges[2]
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_value_just_above_edge_lands_in_next_bucket(self):
+        h = Histogram("h", edges=(1.0, 2.0, 4.0))
+        h.observe(1.0000001)
+        h.observe(2.5)
+        assert h.counts == [0, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", edges=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.counts == [0, 0, 1]
+        assert h.max == 100.0
+
+    def test_below_first_edge_lands_in_first_bucket(self):
+        h = Histogram("h", edges=(1.0, 2.0))
+        h.observe(0.0)
+        h.observe(-5.0)
+        assert h.counts == [2, 0, 0]
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+    def test_stats_and_per_rank_attribution(self):
+        h = Histogram("h", edges=(1.0, 10.0))
+        h.observe(0.5, rank=0)
+        h.observe(5.0, rank=1)
+        h.observe(5.0, rank=1)
+        assert h.count == 3
+        assert h.sum == pytest.approx(10.5)
+        assert h.mean == pytest.approx(3.5)
+        d = h.to_dict()
+        assert d["per_rank"]["1"] == {"count": 2, "sum": 10.0}
+        assert d["min"] == 0.5 and d["max"] == 5.0
+
+    def test_quantile_reports_bucket_upper_edge(self):
+        h = Histogram("h", edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0  # two of four in the first bucket
+        assert h.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h", edges=(1.0,)).quantile(0.9) == 0.0
+
+
+class TestGauge:
+    def test_last_min_max_samples(self):
+        g = Gauge("occ")
+        g.set(0, 3.0)
+        g.set(0, 7.0)
+        g.set(1, 1.0)
+        assert g.last == {0: 7.0, 1: 1.0}
+        assert g.min == 1.0 and g.max == 7.0 and g.samples == 3
+
+    def test_empty_to_dict_has_null_extremes(self):
+        d = Gauge("g").to_dict()
+        assert d["min"] is None and d["max"] is None and d["samples"] == 0
+
+
+class TestCounters:
+    def test_counters_is_a_counterfamily_facade(self):
+        c = Counters()
+        assert isinstance(c, CounterFamily)
+        c.add(0, "steal_success")
+        c.add(1, "steal_success", 2.0)
+        assert c.total("steal_success") == 3.0
+        assert c.per_rank_snapshot() == {
+            0: {"steal_success": 1.0},
+            1: {"steal_success": 2.0},
+        }
+
+
+class TestRegistry:
+    def test_named_metrics_get_their_default_buckets(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("steal_chunk").edges == tuple(float(e) for e in COUNT_BUCKETS)
+        assert reg.histogram("steal_latency").edges == TIME_BUCKETS
+        assert reg.histogram("unheard_of").edges == TIME_BUCKETS
+        assert set(DEFAULT_BUCKETS) >= {"steal_latency", "wave_rtt", "lock_wait"}
+
+    def test_observe_sample_add_roundtrip_through_to_dict(self):
+        reg = MetricsRegistry()
+        reg.observe("steal_latency", 1e-6, rank=0)
+        reg.sample("queue_len", 2, 9.0)
+        reg.add(0, "events", 4.0)
+        d = reg.to_dict()
+        assert d["histograms"]["steal_latency"]["count"] == 1
+        assert d["gauges"]["queue_len"]["last"]["2"] == 9.0
+        assert d["counters"]["total"]["events"] == 4.0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core import Task, TaskCollection
 from repro.sim.engine import Engine
-from repro.sim.tracing import Tracer, trace
+from repro.obs.tracing import Tracer, trace
 
 
 def _scioto_workload(eng):
@@ -86,3 +86,47 @@ def test_capacity_limit_drops_and_reports():
     assert len(tracer.events) == 5
     assert tracer.dropped == 5
     assert "dropped" in tracer.render()
+
+
+def test_dropped_events_counted_in_counts_render_reports_total():
+    """Drop accounting: every event past capacity increments ``dropped``
+    exactly once, recorded events keep their order, and ``render``
+    reports the overflow even when kind filters hide all kept events."""
+    eng = Engine(2, max_events=100_000)
+    tracer = Tracer.attach(eng, capacity=3)
+
+    def main(proc):
+        for i in range(4):
+            trace(proc, f"kind{proc.rank}", i)
+            proc.advance(1e-6)
+            proc.sync()
+
+    eng.spawn_all(main)
+    eng.run()
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 2 * 4 - 3
+    times = [e.time for e in tracer.events]
+    assert times == sorted(times)
+    filtered = tracer.render(kinds={"no-such-kind"})
+    assert "5 events dropped" in filtered
+
+
+def test_old_import_path_is_a_deprecated_shim():
+    import importlib
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.sim.tracing", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.sim.tracing")
+    import repro.obs.tracing as new
+
+    assert shim.Tracer is new.Tracer
+    assert shim.TraceEvent is new.TraceEvent
+    assert shim.trace is new.trace
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.obs.tracing" in str(w.message)
+        for w in caught
+    )
