@@ -1,0 +1,252 @@
+"""Wall-clock perf harness: events/second per scenario per backend.
+
+Everything else in ``repro.bench`` measures *virtual* time — what the
+simulated machine would do.  This module measures the *host*: how fast
+the engine itself turns over scheduling events, which is what bounds the
+paper-figure sweeps, the ``repro.check`` explorer, and the test suite.
+
+``python -m repro.bench perf`` runs every perf scenario (the six
+``repro.check`` scenarios plus the UTS/SCF/TCE application presets) on
+every context-switch backend available in this environment and writes
+``BENCH_wall.json`` (schema ``repro-bench-wall/1``) at the repo root,
+so engine throughput is tracked commit to commit alongside the
+virtual-time record ``BENCH_sim.json``.
+
+Scenario runs go through :func:`repro.obs.scenarios.run_target` with
+recording off, so the measured work is exactly what ``repro.obs
+verify`` fingerprints — and since all backends produce bit-for-bit
+identical results (``tests/test_sim_backends.py``), the per-backend
+series differ *only* in switch mechanism.
+
+The committed record also carries a ``baselines`` section — reference
+measurements (e.g. the pre-redesign engine at its seed commit) that
+regeneration preserves rather than re-measures, so speedup claims stay
+anchored to the numbers they were made against.  See
+``docs/performance.md`` for how to read the record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.scenarios import run_target
+from repro.sim.backends import available_backends
+
+__all__ = [
+    "WALL_SCHEMA",
+    "PERF_SCENARIOS",
+    "QUICK_SCENARIOS",
+    "measure_scenario",
+    "run_perf",
+    "write_wall_json",
+    "validate_wall_json",
+    "main",
+]
+
+#: Schema tag stamped into every ``BENCH_wall.json`` document.
+WALL_SCHEMA = "repro-bench-wall/1"
+
+#: Full scenario set: every check scenario plus the application presets.
+PERF_SCENARIOS = (
+    "queue",
+    "queue-wf",
+    "termination",
+    "steals",
+    "waitfree",
+    "graph",
+    "uts-tiny",
+    "uts-small",
+    "scf",
+    "tce",
+)
+
+#: ``--quick`` subset: enough to validate the schema and every backend
+#: without paying for the big presets (CI runs this).
+QUICK_SCENARIOS = ("queue", "steals", "uts-tiny")
+
+
+def measure_scenario(
+    name: str, backend: str, reps: int = 3, nprocs: int = 4, seed: int = 0
+) -> dict[str, Any]:
+    """Measure one scenario on one backend; return a record entry.
+
+    Runs ``reps`` times and reports the best wall time (least
+    interference from the host) alongside the mean.  Events/second uses
+    the best run.  The run itself is virtual-time deterministic, so
+    ``events`` is identical across reps and backends by construction.
+    """
+    walls = []
+    events = None
+    for _ in range(reps):
+        # Sanctioned wall-clock site: measuring host throughput is the
+        # entire point of this harness.
+        t0 = time.perf_counter()  # repro: lint-disable=RPR002
+        run = run_target(name, nprocs=nprocs, seed=seed, record=False)
+        walls.append(time.perf_counter() - t0)  # repro: lint-disable=RPR002
+        if events is None:
+            events = run.events
+        elif events != run.events:
+            raise RuntimeError(
+                f"{name}/{backend}: event count changed across reps "
+                f"({events} vs {run.events}); engine is nondeterministic"
+            )
+    best = min(walls)
+    return {
+        "scenario": name,
+        "backend": backend,
+        "nprocs": nprocs,
+        "seed": seed,
+        "reps": reps,
+        "events": events,
+        "best_wall_s": best,
+        "mean_wall_s": sum(walls) / len(walls),
+        "events_per_sec": events / best if best > 0 else 0.0,
+    }
+
+
+def run_perf(
+    scenarios: tuple[str, ...] | list[str] = PERF_SCENARIOS,
+    backends: tuple[str, ...] | list[str] | None = None,
+    reps: int = 3,
+    nprocs: int = 4,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[dict[str, Any]]:
+    """Measure ``scenarios`` x ``backends`` and return record entries."""
+    import os
+
+    backends = tuple(backends) if backends is not None else available_backends()
+    entries = []
+    saved = os.environ.get("REPRO_SIM_BACKEND")
+    try:
+        for backend in backends:
+            os.environ["REPRO_SIM_BACKEND"] = backend
+            for name in scenarios:
+                entry = measure_scenario(name, backend, reps=reps, nprocs=nprocs, seed=seed)
+                entries.append(entry)
+                if verbose:
+                    print(
+                        f"  {name:<12} [{backend:<10}] {entry['events']:>8} events  "
+                        f"best {entry['best_wall_s'] * 1e3:8.1f} ms  "
+                        f"{entry['events_per_sec']:>10,.0f} ev/s"
+                    )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SIM_BACKEND", None)
+        else:
+            os.environ["REPRO_SIM_BACKEND"] = saved
+    return entries
+
+
+def _host_info() -> dict[str, Any]:
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_wall_json(
+    entries: list[dict[str, Any]],
+    path: str | Path,
+    baselines: list[dict[str, Any]] | None = None,
+) -> Path:
+    """Write ``BENCH_wall.json``, preserving any committed baselines.
+
+    If ``path`` already exists and carries a ``baselines`` section,
+    those entries survive regeneration verbatim (unless ``baselines``
+    is passed explicitly) — they are reference points measured once,
+    not part of the sweep.
+    """
+    path = Path(path)
+    if baselines is None and path.exists():
+        try:
+            baselines = json.loads(path.read_text()).get("baselines")
+        except (OSError, ValueError):
+            baselines = None
+    doc = {
+        "schema": WALL_SCHEMA,
+        "host": _host_info(),
+        "entries": entries,
+    }
+    if baselines:
+        doc["baselines"] = baselines
+    validate_wall_json(doc)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def validate_wall_json(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid wall-clock record.
+
+    Checked: the schema tag, and for every entry (and baseline) a
+    scenario name, a backend name, a positive event count, and a
+    positive throughput — zero throughput means the measurement is
+    broken, so it fails validation rather than being recorded.
+    """
+    if doc.get("schema") != WALL_SCHEMA:
+        raise ValueError(f"bad schema tag {doc.get('schema')!r}; want {WALL_SCHEMA!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("entries must be a non-empty list")
+    for e in entries + list(doc.get("baselines") or []):
+        where = f"{e.get('scenario')!r}/{e.get('backend')!r}"
+        if not e.get("scenario") or not e.get("backend"):
+            raise ValueError(f"entry missing scenario/backend: {e!r}")
+        if not isinstance(e.get("events"), int) or e["events"] <= 0:
+            raise ValueError(f"{where}: bad events {e.get('events')!r}")
+        eps = e.get("events_per_sec")
+        if not isinstance(eps, (int, float)) or eps <= 0:
+            raise ValueError(f"{where}: bad events_per_sec {eps!r}")
+        wall = e.get("best_wall_s")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            raise ValueError(f"{where}: bad best_wall_s {wall!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench perf",
+        description="measure engine events/second per scenario per backend",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small scenario subset {QUICK_SCENARIOS} with 1 rep "
+                             "(CI schema validation)")
+    parser.add_argument("--only", nargs="*", choices=PERF_SCENARIOS,
+                        help="measure only these scenarios")
+    parser.add_argument("--backends", nargs="*",
+                        help="backends to measure (default: all available)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per measurement (default: 3, quick: 1)")
+    parser.add_argument("--nprocs", type=int, default=4,
+                        help="rank count for application presets")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default="BENCH_wall.json", metavar="PATH",
+                        help="record path (default: %(default)s)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the JSON record")
+    args = parser.parse_args(argv)
+
+    scenarios = tuple(args.only) if args.only else (
+        QUICK_SCENARIOS if args.quick else PERF_SCENARIOS
+    )
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    backends = tuple(args.backends) if args.backends else available_backends()
+    print(f"# engine wall-clock perf — backends: {', '.join(backends)}\n")
+    entries = run_perf(scenarios, backends=backends, reps=reps,
+                       nprocs=args.nprocs, seed=args.seed)
+    if not args.no_json:
+        out = write_wall_json(entries, args.json)
+        print(f"\nwall-clock record -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,45 @@ __all__ = ["Task", "AFFINITY_HIGH", "AFFINITY_LOW", "TASK_HEADER_BYTES"]
 
 _uid_counter = itertools.count(1)
 
+#: Types whose instances need no copying: immutable all the way down.
+_ATOMIC_TYPES = (type(None), bool, int, float, complex, str, bytes, frozenset)
+
+_frozen_dataclass_cache: dict[type, bool] = {}
+
+
+def _is_frozen_dataclass(tp: type) -> bool:
+    cached = _frozen_dataclass_cache.get(tp)
+    if cached is None:
+        params = getattr(tp, "__dataclass_params__", None)
+        cached = params is not None and bool(params.frozen)
+        _frozen_dataclass_cache[tp] = cached
+    return cached
+
+
+def _copy_body(body: Any) -> Any:
+    """Copy-in/out a task body, sharing immutable payloads.
+
+    ``deepcopy`` dominates ``tc_add`` cost for the benchmark apps even
+    though their bodies (UTS node digests, SCF index tuples) are
+    immutable; atomic values — and tuples or frozen dataclasses holding
+    only atomic values — are safe to share since neither side can mutate
+    them through the reference.
+    """
+    if isinstance(body, _ATOMIC_TYPES):
+        return body
+    tp = type(body)
+    if tp is tuple:
+        if all(isinstance(v, _ATOMIC_TYPES) for v in body):
+            return body
+    elif _is_frozen_dataclass(tp):
+        try:
+            values = vars(body).values()
+        except TypeError:  # slotted dataclass: no __dict__
+            return copy.deepcopy(body)
+        if all(isinstance(v, _ATOMIC_TYPES) for v in values):
+            return body
+    return copy.deepcopy(body)
+
 #: Bytes of task meta-data (Figure 1's header) charged on every transfer.
 TASK_HEADER_BYTES = 64
 
@@ -66,7 +105,7 @@ class Task:
         """Deep copy, implementing the copy-in/out semantics of ``tc_add``."""
         return Task(
             callback=self.callback,
-            body=copy.deepcopy(self.body),
+            body=_copy_body(self.body),
             affinity=self.affinity,
             body_size=self.body_size,
             created_by=self.created_by,

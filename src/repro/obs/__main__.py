@@ -26,9 +26,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.check.scenarios import SCENARIOS as CHECK_SCENARIOS
+from repro.sim.backends import BACKENDS, ENV_BACKEND
 from repro.obs.analyze import critical_idle, load_chrome_trace, summarize
 from repro.obs.export import (
     ascii_timeline,
@@ -117,6 +119,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.obs", description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=[*sorted(BACKENDS), "auto"],
+        default=None,
+        help="context-switch backend for the runs (sets $REPRO_SIM_BACKEND; "
+        "all backends produce identical results)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run a target with recording on")
@@ -154,6 +163,8 @@ def main(argv: list[str] | None = None) -> int:
     p_ver.set_defaults(fn=_cmd_verify)
 
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        os.environ[ENV_BACKEND] = args.backend
     return args.fn(args)
 
 

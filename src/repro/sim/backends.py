@@ -1,0 +1,363 @@
+"""Pluggable context-switch backends for the simulation engine.
+
+The engine's scheduling semantics — one simulated process runs at a
+time, chosen by the ``(virtual time, insertion sequence)`` heap — are
+independent of *how* control physically moves between process contexts.
+That mechanism lives here, behind :class:`SwitchBackend`:
+
+``thread``
+    One OS thread per process, handed control through raw
+    ``_thread`` locks.  The scheduling decision runs in the *yielding*
+    thread and control passes directly to the next process: one kernel
+    handoff per event.  Always available; the fallback default.
+
+``greenlet``
+    One greenlet per process on a single OS thread; switches are plain
+    user-level stack switches (no kernel involvement, no GIL handoff).
+    Selected automatically when the optional ``greenlet`` package is
+    importable.
+
+``thread-sem``
+    The seed implementation's mechanism, kept as a measurable
+    reference: every event bounces through a central engine thread via
+    ``threading.Semaphore`` pairs — two kernel handoffs per event.
+    Never auto-selected; exists so ``repro.bench perf`` can quantify
+    the switch-engine speedup against the original design run after
+    run (see ``docs/performance.md``).
+
+Backend choice is per-:class:`~repro.sim.engine.Engine`
+(``Engine(..., backend=...)``) with an environment override
+(``REPRO_SIM_BACKEND``) so whole runs — benchmarks, the model checker,
+the test suite — can be flipped without touching call sites.  Every
+backend executes the identical dispatch code, so results are
+bit-for-bit identical across backends; ``tests/test_sim_backends.py``
+enforces this.
+
+A *context* is either a :class:`~repro.sim.engine.Proc` or ``None``
+for the engine context (the caller of ``Engine.run()``).  Exactly one
+context is ever runnable; backends only implement the transfer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import _thread
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.errors import SimShutdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine, Proc
+
+try:
+    from greenlet import greenlet as _greenlet
+except ImportError:  # pragma: no cover - exercised where greenlet is absent
+    _greenlet = None
+
+__all__ = [
+    "SwitchBackend",
+    "ThreadBackend",
+    "GreenletBackend",
+    "SemaphoreThreadBackend",
+    "BACKENDS",
+    "ENV_BACKEND",
+    "available_backends",
+    "greenlet_available",
+    "resolve_backend_name",
+    "make_backend",
+]
+
+#: Environment variable consulted when ``backend="auto"``.
+ENV_BACKEND = "REPRO_SIM_BACKEND"
+
+
+class SwitchBackend:
+    """How control moves between the engine and its simulated processes.
+
+    Subclasses implement the five hooks below.  ``src``/``dst`` are
+    contexts: a ``Proc``, or ``None`` for the engine context.  The
+    engine guarantees that at most one context runs at a time and that
+    every ``switch``/``exit_to`` names a context that is currently
+    suspended (or, for a fresh proc, spawned but never resumed).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+
+    def prepare(self) -> None:
+        """Called once at the start of ``Engine.run()``, in the engine
+        context, before any ``spawn``."""
+
+    def spawn(self, proc: "Proc", main: Callable[[], None]) -> None:
+        """Create the execution context for ``proc``.  ``main`` is a
+        zero-argument callable; it must not run until the first
+        ``switch``/``exit_to`` targeting ``proc``."""
+        raise NotImplementedError
+
+    def switch(self, src: "Proc | None", dst: "Proc | None") -> None:
+        """Transfer control from ``src`` (the caller) to ``dst``;
+        return when ``src`` is next resumed."""
+        raise NotImplementedError
+
+    def exit_to(self, dst: "Proc | None") -> None:
+        """Final transfer out of a finishing process context; the
+        caller never runs again."""
+        raise NotImplementedError
+
+    def kill(self, proc: "Proc") -> None:
+        """Unwind one unfinished process context during teardown.
+
+        Called from the engine context with ``engine._shutdown`` set.
+        Must be a no-op for contexts that already finished or whose
+        execution context never actually started (e.g. a thread whose
+        ``start()`` failed) — see ``tests/test_sim_backends.py``.
+        """
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Called once after teardown; release backend resources."""
+
+
+class ThreadBackend(SwitchBackend):
+    """One OS thread per process, direct handoff through raw locks.
+
+    Each context owns a pre-acquired ``_thread`` lock it blocks on; a
+    switch releases the destination's lock and re-acquires the
+    caller's.  Raw locks are C-level (no ``threading.Condition``
+    machinery) and the direct handoff skips the seed design's bounce
+    through the engine thread, so an event costs one kernel wakeup
+    instead of two semaphore round trips.
+    """
+
+    name = "thread"
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine)
+        self._engine_lock = _thread.allocate_lock()
+        self._engine_lock.acquire()
+
+    def _lock_of(self, ctx: "Proc | None"):
+        return self._engine_lock if ctx is None else ctx._lock
+
+    def spawn(self, proc: "Proc", main: Callable[[], None]) -> None:
+        lock = _thread.allocate_lock()
+        lock.acquire()
+        proc._lock = lock
+
+        def body() -> None:
+            lock.acquire()  # wait for the first resume
+            main()
+
+        proc._thread = threading.Thread(
+            target=body, name=f"simproc-{proc.rank}", daemon=True
+        )
+        proc._thread.start()
+
+    def switch(self, src: "Proc | None", dst: "Proc | None") -> None:
+        # Inlined _lock_of: this is the hottest line in the simulator.
+        (self._engine_lock if dst is None else dst._lock).release()
+        (self._engine_lock if src is None else src._lock).acquire()
+
+    def exit_to(self, dst: "Proc | None") -> None:
+        self._lock_of(dst).release()
+
+    def kill(self, proc: "Proc") -> None:
+        thread = proc._thread
+        if thread is None or proc.finished:
+            return
+        if not thread.is_alive():
+            # The thread never started (Thread.start() failed mid-spawn)
+            # or died without reporting: there is no stack to unwind, and
+            # handshaking against it would hang teardown forever.
+            return
+        while not proc.finished:
+            proc._lock.release()
+            self._engine_lock.acquire()
+
+    def finalize(self) -> None:
+        for proc in self.engine.procs:
+            thread = proc._thread
+            if thread is not None and thread.ident is not None:
+                # ident is None for a thread whose start() failed; joining
+                # it would raise rather than reap anything.
+                thread.join(timeout=5.0)
+
+
+class SemaphoreThreadBackend(SwitchBackend):
+    """The seed engine's handoff, preserved as a reference backend.
+
+    Every event routes through the engine thread: the yielding process
+    wakes the engine via one ``threading.Semaphore``, the engine thread
+    wakes the chosen process via another.  Two kernel handoffs and four
+    Python-level semaphore operations per event — this is what the
+    repo's engine cost looked like before the direct-handoff redesign,
+    and keeping it runnable lets ``repro.bench perf`` measure the
+    improvement on every host rather than asserting it in prose.
+    """
+
+    name = "thread-sem"
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine)
+        self._engine_sem = threading.Semaphore(0)
+        self._hand: "Proc | None" = None  # context the pump forwards to
+
+    def spawn(self, proc: "Proc", main: Callable[[], None]) -> None:
+        sem = threading.Semaphore(0)
+        proc._lock = sem  # same slot as ThreadBackend's lock
+
+        def body() -> None:
+            sem.acquire()  # wait for the first resume
+            main()
+
+        proc._thread = threading.Thread(
+            target=body, name=f"simproc-{proc.rank}", daemon=True
+        )
+        proc._thread.start()
+
+    def _pump(self) -> None:
+        """Engine-thread loop: forward control until told to return."""
+        while True:
+            self._engine_sem.acquire()
+            dst = self._hand
+            if dst is None:
+                return
+            dst._lock.release()
+
+    def switch(self, src: "Proc | None", dst: "Proc | None") -> None:
+        if src is None:
+            # Engine context: hand off to dst, then mediate every
+            # subsequent switch until control is handed back.
+            dst._lock.release()
+            self._pump()
+            return
+        self._hand = dst
+        self._engine_sem.release()
+        src._lock.acquire()
+
+    def exit_to(self, dst: "Proc | None") -> None:
+        self._hand = dst
+        self._engine_sem.release()
+
+    def kill(self, proc: "Proc") -> None:
+        thread = proc._thread
+        if thread is None or proc.finished:
+            return
+        if not thread.is_alive():
+            return  # never started: nothing to unwind (see ThreadBackend)
+        while not proc.finished:
+            proc._lock.release()
+            self._engine_sem.acquire()  # matched by the proc's exit_to(None)
+
+    def finalize(self) -> None:
+        for proc in self.engine.procs:
+            thread = proc._thread
+            if thread is not None and thread.ident is not None:
+                # ident is None for a thread whose start() failed; joining
+                # it would raise rather than reap anything.
+                thread.join(timeout=5.0)
+
+
+class GreenletBackend(SwitchBackend):
+    """One greenlet per process; switches never leave the OS thread.
+
+    A greenlet switch is a user-level stack swap — no kernel, no GIL
+    handoff, two orders of magnitude cheaper than waking a thread.  The
+    engine context is the greenlet that called ``Engine.run()``; a
+    finishing process re-parents itself onto its successor so its death
+    transfers control without an extra hop.
+    """
+
+    name = "greenlet"
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine)
+        if _greenlet is None:  # pragma: no cover - guarded by resolve
+            raise RuntimeError("greenlet backend requires the 'greenlet' package")
+        self._engine_glet = None
+
+    def prepare(self) -> None:
+        self._engine_glet = _greenlet.getcurrent()
+
+    def _glet_of(self, ctx: "Proc | None"):
+        return self._engine_glet if ctx is None else ctx._glet
+
+    def spawn(self, proc: "Proc", main: Callable[[], None]) -> None:
+        # Parent defaults to the spawning (engine) greenlet; exit_to
+        # re-parents before death so control lands on the chosen context.
+        proc._glet = _greenlet(main)
+
+    def switch(self, src: "Proc | None", dst: "Proc | None") -> None:
+        self._glet_of(dst).switch()
+
+    def exit_to(self, dst: "Proc | None") -> None:
+        glet = _greenlet.getcurrent()
+        glet.parent = self._glet_of(dst)
+        # Returning from the greenlet's body transfers to the parent.
+
+    def kill(self, proc: "Proc") -> None:
+        glet = proc._glet
+        if glet is None or proc.finished or glet.dead:
+            return
+        glet.parent = self._engine_glet
+        while not proc.finished and not glet.dead:
+            # Raises SimShutdown at the proc's suspended switch point
+            # (or just marks a never-started greenlet dead).
+            glet.throw(SimShutdown)
+
+
+#: Constructible backends by CLI/env name.
+BACKENDS: dict[str, type[SwitchBackend]] = {
+    "thread": ThreadBackend,
+    "greenlet": GreenletBackend,
+    "thread-sem": SemaphoreThreadBackend,
+}
+
+
+def greenlet_available() -> bool:
+    """Whether the optional ``greenlet`` package is importable."""
+    return _greenlet is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this environment, fastest first."""
+    names = ["greenlet"] if _greenlet is not None else []
+    names += ["thread", "thread-sem"]
+    return tuple(names)
+
+
+def resolve_backend_name(name: str | None = "auto") -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``"auto"`` (or None/empty) consults ``$REPRO_SIM_BACKEND``; if that
+    is unset or itself ``auto``, picks ``greenlet`` when importable and
+    ``thread`` otherwise.  Explicit names are validated: asking for
+    ``greenlet`` without the package installed raises instead of
+    silently falling back, so benchmark results can't lie about the
+    backend they ran on.
+    """
+    name = name or "auto"
+    if name == "auto":
+        name = os.environ.get(ENV_BACKEND, "").strip() or "auto"
+    if name == "auto":
+        return "greenlet" if _greenlet is not None else "thread"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; choose from "
+            f"{sorted(BACKENDS)} or 'auto'"
+        )
+    if name == "greenlet" and _greenlet is None:
+        raise RuntimeError(
+            "backend 'greenlet' requested (argument or $REPRO_SIM_BACKEND) "
+            "but the optional 'greenlet' package is not importable; "
+            "install it or use backend 'thread'"
+        )
+    return name
+
+
+def make_backend(name: str, engine: "Engine") -> SwitchBackend:
+    """Instantiate the backend resolved from ``name`` for ``engine``."""
+    return BACKENDS[resolve_backend_name(name)](engine)

@@ -1,15 +1,17 @@
-"""Deterministic discrete-event engine with threads-as-coroutines processes.
+"""Deterministic discrete-event engine with direct-handoff processes.
 
 The engine runs ``nprocs`` simulated processes.  Each process executes a
-plain (blocking-style) Python function on its own OS thread, but the
-engine only ever lets **one** thread run at a time: the process whose
+plain (blocking-style) Python function in its own execution context —
+an OS thread or a greenlet, depending on the switch backend — but the
+engine only ever lets **one** context run at a time: the process whose
 virtual clock is smallest.  This gives us the best of both worlds:
 
 * Runtime and application code reads exactly like the paper's C API —
   ordinary function calls, no generators or callbacks.
 * Execution is fully deterministic: events are ordered by
   ``(virtual time, insertion sequence)``, so a given seed always produces
-  the same interleaving, the same steal pattern, and the same timings.
+  the same interleaving, the same steal pattern, and the same timings —
+  on every backend (see :mod:`repro.sim.backends`).
 
 Time model
 ----------
@@ -18,10 +20,9 @@ Each process carries a local virtual clock (``proc.now``, in seconds).
 Pure computation is charged *lazily* with :meth:`Proc.advance` — no
 context switch.  Any access to state shared between processes must first
 call :meth:`Proc.sync`, which re-enqueues the process at its current
-clock and hands control back to the engine; the engine then resumes
-whichever process is earliest.  This serializes all shared-state
-accesses in global virtual-time order, which is exactly the guarantee a
-sequentially-consistent PGAS machine provides.
+clock and hands control to whichever process is earliest.  This
+serializes all shared-state accesses in global virtual-time order, which
+is exactly the guarantee a sequentially-consistent PGAS machine provides.
 
 Blocking primitives (mutex acquire, message receive) use
 :meth:`Proc.park`: the process suspends without scheduling a wake-up and
@@ -29,19 +30,37 @@ another process later calls :meth:`Engine.wake` on it.  If every
 remaining process is parked, the engine raises
 :class:`~repro.util.errors.SimDeadlockError` naming the blocked
 processes — protocol bugs fail loudly instead of hanging.
+
+Switching costs
+---------------
+
+The scheduling decision runs in the *yielding* context and control
+passes directly to the chosen successor — the engine context only runs
+at startup, shutdown, and failure.  Two further fast paths avoid the
+switch entirely:
+
+* **Sync elision**: when a syncing process would be resumed immediately
+  anyway (no other live event at or before its clock), :meth:`Proc.sync`
+  just counts the event and returns.  Disabled under exploring
+  strategies, whose decision points must see every event.
+* **Self-resume**: when the dispatched event belongs to the yielding
+  process itself (e.g. a lone :meth:`Proc.park_until` timeout), the
+  dispatch returns inline.
+
+See ``docs/performance.md`` for backend selection and measured costs.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import threading
-from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from repro.sim.backends import SwitchBackend, make_backend
 from repro.sim.machines import MachineSpec, uniform_cluster
 from repro.util.errors import SimDeadlockError, SimLimitError, SimShutdown
 
@@ -65,7 +84,8 @@ class SchedulingStrategy:
     """
 
     #: When True the engine materializes the full runnable set each event
-    #: and asks :meth:`choose`; when False it uses the fast heap-pop path.
+    #: and asks :meth:`choose`; when False it uses the fast heap-pop path
+    #: (and elides switches for immediately-resumable syncs).
     explores: bool = False
 
     def begin(self, engine: "Engine") -> None:
@@ -87,7 +107,9 @@ class SchedulingStrategy:
 
         ``site`` is ``"sync"`` (a process yielding at a shared-state
         access) or ``"wake"`` (a wake-up being delivered).  The default
-        injects nothing.
+        injects nothing.  The engine validates the resulting schedule
+        time: a delay that produces a negative or NaN time raises
+        ``ValueError`` naming the site.
         """
         return 0.0
 
@@ -122,6 +144,24 @@ class Proc:
     ``nprocs``, ``now``, ``rng`` and :meth:`compute`.
     """
 
+    __slots__ = (
+        "engine",
+        "rank",
+        "rng",
+        "finished",
+        "blocked_at",
+        "state",
+        "_gen",
+        "_pending",
+        "_clock",
+        "_wake_payload",
+        "_exc",
+        "_result",
+        "_lock",
+        "_thread",
+        "_glet",
+    )
+
     def __init__(self, engine: Engine, rank: int, rng: np.random.Generator) -> None:
         self.engine = engine
         self.rank = rank
@@ -129,12 +169,15 @@ class Proc:
         self.finished = False
         self.blocked_at: str | None = None  # description of park site, for deadlock msgs
         self._gen = 0  # resume generation; stale heap entries are skipped
+        self._pending = 0  # heap entries carrying the current generation
         self._clock = 0.0
-        self._go = threading.Semaphore(0)
         self._wake_payload: Any = None
         self._exc: BaseException | None = None
         self._result: Any = None
-        self._thread: threading.Thread | None = None
+        # Backend execution context (whichever the backend uses).
+        self._lock = None
+        self._thread = None
+        self._glet = None
         # Free-form per-process scratch used by the comm layers to attach
         # per-rank state (mailboxes, registered regions, ...).
         self.state: dict[str, Any] = {}
@@ -188,12 +231,49 @@ class Proc:
         process must call this first so that all such operations happen
         in virtual-time order.  (Under an exploring strategy, "earliest"
         becomes "whichever runnable process the strategy picks".)
+
+        When no other live event is scheduled at or before this
+        process's clock, the process would be resumed immediately — the
+        engine counts the scheduling event but skips the context switch
+        entirely (sync elision).
         """
-        strat = self.engine.strategy
-        if strat is not None:
-            self._clock += strat.delay(self, "sync")
-        self.engine._schedule(self, self._clock, None)
-        self._handoff()
+        engine = self.engine
+        delay_fn = engine._delay_fn
+        if delay_fn is not None:
+            d = delay_fn(self, "sync")
+            if d:
+                clock = self._clock + d
+                if not clock >= 0.0:  # negative or NaN
+                    raise ValueError(
+                        f"strategy delay {d!r} at site 'sync' produced invalid "
+                        f"time {clock!r} for rank {self.rank}"
+                    )
+                self._clock = clock
+        if engine._elide:
+            heap = engine._heap
+            procs = engine.procs
+            clock = self._clock
+            while heap:
+                entry = heap[0]
+                proc = procs[entry[2]]
+                if proc.finished or entry[3] != proc._gen:
+                    heapq.heappop(heap)
+                    engine._nstale -= 1
+                    continue
+                if entry[0] > clock:
+                    break  # earliest live event is later: we'd run next
+                # Another process must run first: full handoff.
+                engine._schedule(self, clock, None)
+                engine._dispatch(self)
+                return
+            # Heap empty or earliest live event strictly later — an
+            # elided event: counted, limit-checked, but never switched.
+            engine.events += 1
+            if engine._limits:
+                engine._check_limits(clock)
+            return
+        engine._schedule(self, self._clock, None)
+        engine._dispatch(self)
 
     def sleep(self, seconds: float) -> None:
         """Advance the clock by ``seconds`` and yield to the engine."""
@@ -210,12 +290,12 @@ class Proc:
         Returns:
             The payload passed to :meth:`Engine.wake`.
         """
+        engine = self.engine
         self.blocked_at = where
-        self.engine._parked += 1
-        strat = self.engine.strategy
-        if strat is not None:
-            strat.on_park(self, where)
-        self._handoff()
+        engine._parked += 1
+        if engine._on_park is not None:
+            engine._on_park(self, where)
+        engine._dispatch(self)
         return self._wake_payload
 
     def park_until(self, wake_time: float, where: str = "park_until") -> Any:
@@ -226,40 +306,14 @@ class Proc:
         the timeout, whichever comes first.  Returns the wake payload, or
         None on timeout.
         """
+        engine = self.engine
         self.blocked_at = where
-        self.engine._parked += 1
-        strat = self.engine.strategy
-        if strat is not None:
-            strat.on_park(self, where)
-        self.engine._schedule(self, wake_time, None)
-        self._handoff()
+        engine._parked += 1
+        if engine._on_park is not None:
+            engine._on_park(self, where)
+        engine._schedule(self, wake_time, None)
+        engine._dispatch(self)
         return self._wake_payload
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _handoff(self) -> None:
-        """Give control back to the engine thread and wait to be resumed."""
-        self.engine._done.release()
-        self._go.acquire()
-        if self.engine._shutdown:
-            raise SimShutdown()
-
-    def _thread_main(self, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
-        self._go.acquire()
-        if self.engine._shutdown:
-            self.finished = True
-            self.engine._done.release()
-            return
-        try:
-            self._result = fn(self, *args)
-        except SimShutdown:
-            pass
-        except BaseException as exc:  # noqa: BLE001 - surfaced by Engine.run
-            self._exc = exc
-        finally:
-            self.finished = True
-            self.engine._done.release()
 
 
 class Engine:
@@ -278,6 +332,7 @@ class Engine:
         max_events: int | None = None,
         max_time: float | None = None,
         strategy: SchedulingStrategy | None = None,
+        backend: str = "auto",
     ) -> None:
         """Create an engine.
 
@@ -292,6 +347,11 @@ class Engine:
                 decision points; None (default) and any strategy with
                 ``explores = False`` reproduce the historical
                 deterministic ``(time, seq)`` order bit-for-bit.
+            backend: Context-switch backend: ``"thread"``,
+                ``"greenlet"``, ``"thread-sem"``, or ``"auto"`` (the
+                default — honours ``$REPRO_SIM_BACKEND``, then picks
+                greenlet when importable, thread otherwise).  All
+                backends produce identical results.
         """
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -305,12 +365,23 @@ class Engine:
         self.events = 0
         streams = np.random.SeedSequence(seed).spawn(nprocs)
         self.procs = [Proc(self, r, np.random.default_rng(streams[r])) for r in range(nprocs)]
+        self.backend: SwitchBackend = make_backend(backend, self)
         self._heap: list[tuple[float, int, int, int]] = []  # (time, seq, rank, gen)
         self._seq = itertools.count()
-        self._done = threading.Semaphore(0)
+        self._nstale = 0  # stale entries still physically in the heap
         self._shutdown = False
         self._started = False
         self._parked = 0
+        self._active = 0
+        self._failure: BaseException | None = None
+        self._finish_times: list[float] = [0.0] * nprocs
+        self._current: Proc | None = None
+        # Hot-path caches, finalized at the top of run().
+        self._delay_fn: Callable[[Proc, str], float] | None = None
+        self._on_park: Callable[[Proc, str], None] | None = None
+        self._explores = False
+        self._elide = True
+        self._limits = max_events is not None or max_time is not None
         # Global shared-state namespace used by comm layers (keyed by layer).
         self.state: dict[str, Any] = {}
         self._mains: list[tuple[Callable[..., Any], tuple[Any, ...]] | None] = [None] * nprocs
@@ -334,6 +405,7 @@ class Engine:
     # ------------------------------------------------------------------ #
     def _schedule(self, proc: Proc, time: float, payload: Any) -> None:
         proc._wake_payload = payload
+        proc._pending += 1
         heapq.heappush(self._heap, (time, next(self._seq), proc.rank, proc._gen))
 
     def wake(self, proc: Proc, time: float, payload: Any = None) -> None:
@@ -343,11 +415,20 @@ class Engine:
         clock is advanced to at least ``time`` when it resumes.  If the
         process was parked with a timeout (:meth:`Proc.park_until`), the
         pending timeout entry becomes stale and is skipped.
+
+        Raises:
+            ValueError: If the strategy's injected delay produces a
+                negative or NaN wake time.
         """
         if proc.blocked_at is None:
             raise RuntimeError(f"wake() on non-parked {proc!r}")
         if self.strategy is not None:
             time += self.strategy.delay(proc, "wake")
+            if not time >= 0.0:  # negative or NaN
+                raise ValueError(
+                    f"strategy delay at site 'wake' produced invalid wake "
+                    f"time {time!r} for rank {proc.rank}"
+                )
         self._schedule(proc, time, payload)
 
     @property
@@ -355,48 +436,149 @@ class Engine:
         """The process currently executing (valid only during :meth:`run`)."""
         return self._current
 
+    def _check_limits(self, time: float) -> None:
+        """Raise :class:`SimLimitError` if an event limit is exceeded."""
+        if self.max_events is not None and self.events > self.max_events:
+            raise SimLimitError(f"exceeded max_events={self.max_events}")
+        if self.max_time is not None and time > self.max_time:
+            raise SimLimitError(
+                f"virtual time {time:.6f}s exceeded max_time={self.max_time}s"
+            )
+
     def _next_event(self) -> tuple[float, int, int, int] | None:
         """Select the next (time, seq, rank, gen) entry to resume, or None.
 
-        With no strategy (or a non-exploring one) this is the historical
-        fast path: pop the heap minimum, skipping stale entries.  An
-        exploring strategy instead sees the full runnable set — the
-        earliest live entry of every runnable process — and picks one;
-        this is the decision point schedule exploration drives.
+        With no strategy (or a non-exploring one) this is the fast path:
+        pop the heap minimum, skipping stale entries.  An exploring
+        strategy instead sees the full runnable set — the earliest live
+        entry of every runnable process — and picks one; this is the
+        decision point schedule exploration drives.  The chosen entry is
+        left in place (it goes stale when its process's generation
+        bumps) and the heap is compacted whenever stale entries
+        outnumber live ones, keeping each scan O(live) amortized
+        instead of the seed's per-event O(heap) rebuild.
         """
-        strat = self.strategy
-        if strat is None or not strat.explores:
-            while self._heap:
-                entry = heapq.heappop(self._heap)
-                proc = self.procs[entry[2]]
+        heap = self._heap
+        procs = self.procs
+        if not self._explores:
+            pop = heapq.heappop
+            while heap:
+                entry = pop(heap)
+                proc = procs[entry[2]]
                 if proc.finished or entry[3] != proc._gen:
+                    self._nstale -= 1
                     continue  # stale entry: already resumed since scheduling
                 return entry
             return None
-        live: list[tuple[float, int, int, int]] = []
+        if self._nstale > 32 and self._nstale * 2 > len(heap):
+            heap[:] = [
+                e for e in heap
+                if not procs[e[2]].finished and e[3] == procs[e[2]]._gen
+            ]
+            heapq.heapify(heap)
+            self._nstale = 0
         best: dict[int, tuple[float, int, int, int]] = {}
-        for entry in self._heap:
-            proc = self.procs[entry[2]]
+        for entry in heap:
+            proc = procs[entry[2]]
             if proc.finished or entry[3] != proc._gen:
                 continue
-            live.append(entry)
             cur = best.get(entry[2])
             if cur is None or entry < cur:
                 best[entry[2]] = entry
         if not best:
-            self._heap.clear()
+            heap.clear()
+            self._nstale = 0
             return None
         candidates = sorted(best.values())
+        strat = self.strategy
         idx = strat.choose(candidates) if len(candidates) > 1 else 0
         if not 0 <= idx < len(candidates):
             raise RuntimeError(
                 f"strategy chose index {idx} among {len(candidates)} candidates"
             )
-        chosen = candidates[idx]
-        live.remove(chosen)
-        self._heap = live
-        heapq.heapify(self._heap)
-        return chosen
+        return candidates[idx]
+
+    def _dispatch(self, src: Proc | None, dying: bool = False) -> None:
+        """Resume the next event's process, switching out of ``src``.
+
+        Runs in ``src``'s context (``None`` = the engine context).  On
+        deadlock, limit violation, or a strategy error the failure is
+        recorded and control returns to the engine context, which
+        re-raises from :meth:`run`.  Returns without switching when the
+        chosen process is ``src`` itself.
+        """
+        dst: Proc | None = None
+        failure: BaseException | None = None
+        if self._active:
+            try:
+                entry = self._next_event()
+                if entry is None:
+                    parked = [
+                        (p.rank, p.blocked_at) for p in self.procs if not p.finished
+                    ]
+                    blocked = ", ".join(
+                        f"rank {p.rank} at {p.blocked_at!r} (t={p.now * 1e6:.3f}us)"
+                        for p in self.procs
+                        if not p.finished
+                    )
+                    failure = SimDeadlockError(
+                        f"no runnable process; {self._active} still active: {blocked}",
+                        parked=parked,
+                    )
+                else:
+                    time = entry[0]
+                    proc = self.procs[entry[2]]
+                    # The consumed entry (and, when exploring, the one left
+                    # in the heap) plus any same-generation siblings go
+                    # stale now that the generation bumps.
+                    self._nstale += proc._pending - (not self._explores)
+                    proc._pending = 0
+                    proc._gen += 1
+                    if proc.blocked_at is not None:
+                        proc.blocked_at = None
+                        self._parked -= 1
+                    self.events += 1
+                    if self._limits:
+                        self._check_limits(time)
+                    if time > proc._clock:
+                        proc._clock = time
+                    self._current = proc
+                    dst = proc
+            except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+                failure = exc
+        if failure is not None:
+            if self._failure is None:
+                self._failure = failure
+            dst = None
+        if dst is src:
+            return  # self-resume (or the engine context staying put)
+        if dying:
+            self.backend.exit_to(dst)
+            return
+        self.backend.switch(src, dst)
+        if self._shutdown and src is not None:
+            raise SimShutdown()
+
+    def _proc_main(self, proc: Proc, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
+        """Body of one process context: run ``fn``, then hand off."""
+        if not self._shutdown:
+            try:
+                proc._result = fn(proc, *args)
+            except SimShutdown:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - surfaced by Engine.run
+                proc._exc = exc
+        proc.finished = True
+        self._active -= 1
+        self._finish_times[proc.rank] = proc._clock
+        self._nstale += proc._pending
+        proc._pending = 0
+        if proc._exc is not None and self._failure is None:
+            self._failure = proc._exc
+        if self._shutdown or self._failure is not None:
+            self.backend.exit_to(None)
+        else:
+            self._dispatch(proc, dying=True)
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -408,86 +590,51 @@ class Engine:
             SimDeadlockError: If all unfinished processes are parked.
             SimLimitError: If ``max_events``/``max_time`` is exceeded.
             Exception: Any exception raised inside a simulated process is
-                re-raised here (after shutting the other threads down).
+                re-raised here (after shutting the other contexts down).
         """
         if self._started:
             raise RuntimeError("Engine.run() may only be called once")
         self._started = True
-        if self.strategy is not None:
-            self.strategy.begin(self)
+        strat = self.strategy
+        if strat is not None:
+            strat.begin(self)
+        self._delay_fn = strat.delay if strat is not None else None
+        self._on_park = strat.on_park if strat is not None else None
+        self._explores = strat is not None and strat.explores
+        self._elide = not self._explores
         for rank, main in enumerate(self._mains):
             if main is None:
                 raise RuntimeError(f"rank {rank} has no main function; call spawn()")
-        for proc, (fn, args) in zip(self.procs, self._mains):
-            proc._thread = threading.Thread(
-                target=proc._thread_main,
-                args=(fn, args),
-                name=f"simproc-{proc.rank}",
-                daemon=True,
-            )
-            proc._thread.start()
-            self._schedule(proc, 0.0, None)
-
-        active = self.nprocs
-        finish_times = [0.0] * self.nprocs
+        self._active = self.nprocs
+        self.backend.prepare()
         try:
-            while active:
-                entry = self._next_event()
-                if entry is None:
-                    parked = [
-                        (p.rank, p.blocked_at) for p in self.procs if not p.finished
-                    ]
-                    blocked = ", ".join(
-                        f"rank {p.rank} at {p.blocked_at!r} (t={p.now * 1e6:.3f}us)"
-                        for p in self.procs
-                        if not p.finished
-                    )
-                    raise SimDeadlockError(
-                        f"no runnable process; {active} still active: {blocked}",
-                        parked=parked,
-                    )
-                time, _seq, rank, gen = entry
-                proc = self.procs[rank]
-                proc._gen += 1
-                if proc.blocked_at is not None:
-                    proc.blocked_at = None
-                    self._parked -= 1
-                self.events += 1
-                if self.max_events is not None and self.events > self.max_events:
-                    raise SimLimitError(f"exceeded max_events={self.max_events}")
-                if self.max_time is not None and time > self.max_time:
-                    raise SimLimitError(
-                        f"virtual time {time:.6f}s exceeded max_time={self.max_time}s"
-                    )
-                proc._clock = max(proc._clock, time)
-                self._current = proc
-                proc._go.release()
-                self._done.acquire()
-                if proc._exc is not None:
-                    raise proc._exc
-                if proc.finished:
-                    active -= 1
-                    finish_times[proc.rank] = proc.now
+            for proc, (fn, args) in zip(self.procs, self._mains):
+                def main(p=proc, f=fn, a=args) -> None:
+                    self._proc_main(p, f, a)
+
+                self.backend.spawn(proc, main)
+                self._schedule(proc, 0.0, None)
+            # Hand control to the earliest process; it returns to the
+            # engine context only on completion or failure.
+            self._dispatch(None)
+            if self._failure is not None:
+                raise self._failure
         finally:
             self._teardown()
-        elapsed = max(finish_times) if finish_times else 0.0
+        elapsed = max(self._finish_times) if self._finish_times else 0.0
         return SimResult(
             elapsed=elapsed,
-            finish_times=finish_times,
+            finish_times=list(self._finish_times),
             events=self.events,
             returns=[p._result for p in self.procs],
         )
 
     def _teardown(self) -> None:
-        """Unwind any still-running process threads via :class:`SimShutdown`."""
+        """Unwind any still-running process contexts via :class:`SimShutdown`."""
         self._shutdown = True
         for proc in self.procs:
-            if proc._thread is None:
-                continue
-            while not proc.finished:
-                proc._go.release()
-                self._done.acquire()
-            proc._thread.join(timeout=5.0)
+            self.backend.kill(proc)
+        self.backend.finalize()
 
 
 def run_spmd(
@@ -499,6 +646,7 @@ def run_spmd(
     max_events: int | None = None,
     max_time: float | None = None,
     strategy: SchedulingStrategy | None = None,
+    backend: str = "auto",
 ) -> SimResult:
     """Run ``main(proc, *args)`` on every rank and return the result.
 
@@ -520,6 +668,7 @@ def run_spmd(
         max_events=max_events,
         max_time=max_time,
         strategy=strategy,
+        backend=backend,
     )
     eng.spawn_all(main, *args)
     return eng.run()

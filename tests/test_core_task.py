@@ -29,6 +29,39 @@ class TestTask:
     def test_affinity_constants_ordered(self):
         assert AFFINITY_HIGH > AFFINITY_LOW
 
+    def test_clone_allocates_fresh_uid(self):
+        t = Task(callback=1, body=(1, 2))
+        assert t.clone().uid != t.uid
+
+    def test_clone_shares_immutable_bodies(self):
+        # Copy-in/out is observationally identical for immutable
+        # payloads, so clone may (and does) share them.
+        for body in (None, 7, 1.5, "abc", b"xy", (1, "a", b"z"), frozenset({1})):
+            t = Task(callback=0, body=body)
+            assert t.clone().body is body
+
+    def test_clone_shares_frozen_dataclass_of_atomics(self):
+        from repro.apps.uts.tree import UTSNode
+
+        node = UTSNode(digest=b"\x00" * 20, depth=3)
+        assert Task(callback=0, body=node).clone().body is node
+
+    def test_clone_still_copies_mutable_bodies(self):
+        from dataclasses import dataclass, field
+
+        for body in ([1, 2], {"k": 1}, (1, [2]), {1, 2}):
+            t = Task(callback=0, body=body)
+            c = t.clone()
+            assert c.body == body and c.body is not body
+
+        @dataclass(frozen=True)
+        class FrozenWithList:
+            items: list = field(default_factory=lambda: [1, 2])
+
+        f = FrozenWithList()
+        c = Task(callback=0, body=f).clone()
+        assert c.body == f and c.body is not f  # mutable field: deep copy
+
 
 class TestSciotoConfig:
     def test_defaults_match_paper(self):

@@ -1,0 +1,251 @@
+"""The sync-elision fast path must be semantically invisible.
+
+An elided sync skips the context switch when the syncing process would
+be resumed immediately anyway.  These tests pin down the contract: the
+event stream, clocks, payloads, and limits behave exactly as if every
+sync had gone through the full handoff — and the fast path disables
+itself under exploring strategies, whose decision points must see every
+event.
+
+The reference for "as if every sync had switched" is ``_FifoExplorer``:
+an exploring strategy that always picks the first (heap-order)
+candidate.  It reproduces the engine's default schedule exactly, but —
+being an exploring strategy — forces elision off and the full
+materialize-candidates path on, so any divergence between a plain run
+and a ``_FifoExplorer`` run is an elision (or compaction) bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, SchedulingStrategy, run_spmd
+from repro.util.errors import SimLimitError
+
+
+class _FifoExplorer(SchedulingStrategy):
+    """Exploring strategy that reproduces the default heap order."""
+
+    explores = True
+
+    def __init__(self):
+        self.choices = 0
+
+    def choose(self, candidates):
+        self.choices += 1
+        return 0
+
+
+def _count_switches(engine):
+    """Wrap the engine's backend to count real context switches."""
+    counts = {"switch": 0}
+    real = engine.backend.switch
+
+    def counting_switch(src, dst):
+        counts["switch"] += 1
+        real(src, dst)
+
+    engine.backend.switch = counting_switch
+    return counts
+
+
+def _run(nprocs, main, *args, strategy=None, **kw):
+    eng = Engine(nprocs, strategy=strategy, **kw)
+    eng.spawn_all(main, *args)
+    return eng, eng.run()
+
+
+# --------------------------------------------------------------------- #
+# The fast path fires, and never when it must not
+# --------------------------------------------------------------------- #
+def test_lone_runner_syncs_are_elided():
+    def main(proc):
+        for _ in range(50):
+            proc.compute(1e-6)
+            proc.sync()
+        return proc.now
+
+    eng, result = _run(1, main)
+    # 1 initial resume + 50 syncs, every sync elided.
+    assert result.events == 51
+
+
+def test_elided_syncs_count_as_events():
+    def main(proc):
+        for _ in range(10):
+            proc.sync()
+
+    _, solo = _run(1, main)
+    exploring = _FifoExplorer()
+    _, full = _run(1, main, strategy=exploring)
+    assert solo.events == full.events  # elided or not, same event stream
+
+
+def test_no_switches_while_draining_alone():
+    eng = Engine(1)
+
+    def main(proc):
+        for _ in range(25):
+            proc.compute(1e-6)
+            proc.sync()
+
+    eng.spawn_all(main)
+    counts = _count_switches(eng)
+    eng.run()
+    # One switch in (engine -> proc); the exit is exit_to, not switch.
+    assert counts["switch"] == 1
+
+
+def test_elision_respects_other_runnable_at_same_time():
+    """A same-time entry from another rank must still run in seq order."""
+    order = []
+
+    def main(proc):
+        for i in range(3):
+            proc.sync()  # both ranks at t=0 throughout
+            order.append((proc.rank, i))
+
+    _, plain = _run(2, main)
+    plain_order = list(order)
+    order.clear()
+    _, explored = _run(2, main, strategy=_FifoExplorer())
+    assert order == plain_order
+    assert explored.events == plain.events
+
+
+def test_elision_disabled_when_strategy_explores():
+    strategy = _FifoExplorer()
+    eng = Engine(2, strategy=strategy)
+
+    def main(proc):
+        proc.compute(1e-6)
+        proc.sync()
+
+    eng.spawn_all(main)
+    eng.run()
+    assert eng._elide is False
+    assert strategy.choices > 0  # decision points actually reached
+
+
+def test_elision_enabled_for_non_exploring_strategy():
+    eng = Engine(1, strategy=SchedulingStrategy())
+    eng.spawn_all(lambda proc: proc.sync())
+    eng.run()
+    assert eng._elide is True
+
+
+# --------------------------------------------------------------------- #
+# Equivalence against the full-handoff schedule
+# --------------------------------------------------------------------- #
+def _staggered(proc):
+    total = 0.0
+    for i in range(20):
+        proc.compute(1e-6 * ((proc.rank + i) % 3 + 1))
+        proc.sync()
+        total += proc.now
+    return (proc.rank, round(total, 12), round(proc.now, 12))
+
+
+def test_staggered_clocks_match_explored_schedule():
+    _, plain = _run(4, _staggered)
+    _, full = _run(4, _staggered, strategy=_FifoExplorer())
+    assert plain.returns == full.returns
+    assert plain.finish_times == full.finish_times
+    assert plain.events == full.events
+
+
+def test_park_until_timeout_matches_explored_schedule():
+    def main(proc):
+        if proc.rank == 0:
+            payload = proc.park_until(5e-6, where="poll")
+            proc.sync()
+            return (payload, proc.now)
+        proc.compute(1e-6)
+        proc.sync()
+        return proc.now
+
+    _, plain = _run(2, main)
+    _, full = _run(2, main, strategy=_FifoExplorer())
+    assert plain.returns == full.returns
+    assert plain.returns[0] == (None, 5e-6)  # timed out, clock advanced
+
+
+def test_park_until_woken_early_matches_explored_schedule():
+    def main(proc):
+        if proc.rank == 0:
+            payload = proc.park_until(1.0, where="poll")
+            return (payload, proc.now)
+        proc.compute(2e-6)
+        proc.sync()
+        proc.engine.wake(proc.engine.procs[0], proc.now, "posted")
+        proc.sync()
+        return proc.now
+
+    _, plain = _run(2, main)
+    _, full = _run(2, main, strategy=_FifoExplorer())
+    assert plain.returns == full.returns
+    assert plain.returns[0] == ("posted", pytest.approx(2e-6))
+    # The stale timeout entry must not produce a second resume.
+    assert plain.events == full.events
+
+
+def test_lone_runner_park_until_self_resume():
+    """A lone park_until resumes via its own timeout entry (the
+    self-resume path: dispatch returns without a backend switch)."""
+
+    def main(proc):
+        t = []
+        for i in range(5):
+            proc.park_until((i + 1) * 1e-6, where="tick")
+            t.append(proc.now)
+        return t
+
+    _, result = _run(1, main)
+    assert result.returns[0] == pytest.approx([1e-6, 2e-6, 3e-6, 4e-6, 5e-6])
+
+
+# --------------------------------------------------------------------- #
+# Limits still enforced on the fast path
+# --------------------------------------------------------------------- #
+def test_max_events_enforced_for_elided_syncs():
+    def main(proc):
+        while True:
+            proc.sync()
+
+    with pytest.raises(SimLimitError, match="max_events"):
+        run_spmd(1, main, max_events=100)
+
+
+def test_max_time_enforced_for_elided_syncs():
+    def main(proc):
+        while True:
+            proc.advance(1.0)
+            proc.sync()
+
+    with pytest.raises(SimLimitError, match="max_time"):
+        run_spmd(1, main, max_time=10.0)
+
+
+# --------------------------------------------------------------------- #
+# Exploring-path compaction keeps the heap honest
+# --------------------------------------------------------------------- #
+def test_compaction_under_heavy_staling():
+    """park_until + wake churn leaves many stale entries; the exploring
+    scan must compact them away without perturbing the schedule."""
+
+    def main(proc):
+        if proc.rank == 0:
+            for _ in range(60):
+                proc.park_until(proc.now + 1.0, where="poll")
+            return round(proc.now, 9)
+        for i in range(60):
+            proc.compute(1e-6)
+            proc.sync()
+            proc.engine.wake(proc.engine.procs[0], proc.now, i)
+            proc.sync()
+        return round(proc.now, 9)
+
+    _, plain = _run(2, main)
+    _, full = _run(2, main, strategy=_FifoExplorer())
+    assert plain.returns == full.returns
+    assert plain.events == full.events
