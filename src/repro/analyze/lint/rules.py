@@ -314,6 +314,11 @@ def rpr004(tree: ast.Module, source: str):
 
 _FLAG_HINT = re.compile(r"(dirty|done|mark|flag)", re.I)
 
+# The repro.obs recording API is a pure observer (it only reads proc.now
+# and appends metadata) — its names collide with the flag hint
+# (edge_mark, instant) but never store protocol state.
+_OBSERVER_CALLS = re.compile(r"^(edge_\w+|causal_edge|span|instant|observe)$")
+
 
 def _carries_flag_store(arg: ast.AST, defs: dict[str, ast.AST]) -> bool:
     """Does a put's apply argument store to a termination/steal flag?"""
@@ -326,7 +331,10 @@ def _carries_flag_store(arg: ast.AST, defs: dict[str, ast.AST]) -> bool:
         return False
     for node in ast.walk(target):
         if isinstance(node, ast.Call):
-            if _FLAG_HINT.search(_last_attr(node.func) or ""):
+            name = _last_attr(node.func) or ""
+            if _OBSERVER_CALLS.match(name):
+                continue
+            if _FLAG_HINT.search(name):
                 return True
         elif isinstance(node, (ast.Assign, ast.AugAssign)):
             targets = node.targets if isinstance(node, ast.Assign) else [node.target]

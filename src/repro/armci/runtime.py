@@ -19,7 +19,7 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.analyze.race import RaceDetector
-from repro.obs.record import span
+from repro.obs.record import edge_recv, edge_send, span
 from repro.sim.engine import Engine, Proc
 from repro.sim.resources import SimBarrier, SimMutex
 from repro.sim.counters import Counters
@@ -326,6 +326,10 @@ class Armci:
         proc.advance(cost)
         proc.sync()
         self._mailboxes[target][tag].append((proc.rank, payload))
+        # Causal edge source: the mailbox is FIFO per (target, tag), so the
+        # matching edge_recv in poll_mailbox pairs sends and receives in
+        # exactly the deposit order (metadata-only; no cost, no RNG).
+        edge_send(proc, ("mail", target, tag), detail=tag)
         det = self._race()
         if det is not None:
             det.on_post(proc, target, tag)
@@ -343,6 +347,7 @@ class Armci:
             det = self._race()
             if det is not None:
                 det.on_poll(proc, tag)
+            edge_recv(proc, ("mail", proc.rank, tag), "msg", detail=tag)
             return q.popleft()
         return None
 

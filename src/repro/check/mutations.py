@@ -20,7 +20,7 @@ from typing import Callable, Iterator
 
 from repro.analyze import hooks
 from repro.core.queue import SplitQueue
-from repro.core.termination import TerminationDetector, is_descendant
+from repro.core.termination import TerminationDetector
 
 __all__ = ["MUTATIONS", "apply_mutation"]
 
@@ -76,38 +76,48 @@ def no_dirty_mark() -> Iterator[None]:
     unmutated mechanism) blackens the victim's vote and the run
     self-heals on almost every schedule.
     """
-    orig = TerminationDetector.note_steal
+    orig_mark = TerminationDetector.steal_mark
+    orig_note = TerminationDetector.note_steal
+
+    def no_steal_mark(self: TerminationDetector, proc, victim: int):
+        return None
 
     def silent_note_steal(self: TerminationDetector, proc, victim: int) -> None:
         self.counters.add(proc.rank, "dirty_msgs_skipped")
 
+    TerminationDetector.steal_mark = no_steal_mark
     TerminationDetector.note_steal = silent_note_steal
     try:
         yield
     finally:
-        TerminationDetector.note_steal = orig
+        TerminationDetector.steal_mark = orig_mark
+        TerminationDetector.note_steal = orig_note
 
 
 @contextlib.contextmanager
-def fence_elision() -> Iterator[None]:
-    """Send the §5.3 dirty mark without fencing the steal's transfers.
+def late_dirty_mark() -> Iterator[None]:
+    """Deliver the §5.3 dirty mark as a separate fenced message *after*
+    the steal, instead of inside the steal's locked transfer.
 
-    The correct protocol fences the thief's earlier one-sided ops to the
-    victim before the dirty-mark put, so the victim cannot observe the
-    mark, vote, and then have the steal's index update land afterwards.
-    This mutation keeps the mark but skips the fence — the window is
-    narrow and rarely corrupts state on random schedules, which is
-    exactly why the race detector's fence discipline
-    (``unfenced-flag-store``) is the right tool to catch it.
+    This is the historical design of this codebase — and it is wrong:
+    the fence orders the mark after the steal's transfers, but nothing
+    orders it before the *victim's next vote*.  The victim can observe
+    its emptied queue, vote white, and have the root complete an
+    all-white wave before the mark lands, while the stolen work runs on
+    a thief that also voted white.  Found by a task-graph property test
+    (a dependent task enabled by the stolen work was never executed);
+    kept as a mutation so the checker demonstrates the window is real.
     """
-    orig = TerminationDetector.note_steal
+    orig_mark = TerminationDetector.steal_mark
+    orig_note = TerminationDetector.note_steal
 
-    def unfenced_note_steal(self: TerminationDetector, proc, victim: int) -> None:
+    def no_steal_mark(self: TerminationDetector, proc, victim: int):
+        return None
+
+    def late_note_steal(self: TerminationDetector, proc, victim: int) -> None:
         self._mark_dirty(proc)
-        need_mark = (not self.optimize) or (
-            self.voted and not is_descendant(victim, self.rank)
-        )
-        if need_mark:
+        if self._need_mark(victim):
+            self.armci.fence(proc, victim)
             victim_det = self.peers[victim]
             self.armci.put(
                 proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
@@ -116,11 +126,51 @@ def fence_elision() -> Iterator[None]:
         else:
             self.counters.add(proc.rank, "dirty_msgs_skipped")
 
+    TerminationDetector.steal_mark = no_steal_mark
+    TerminationDetector.note_steal = late_note_steal
+    try:
+        yield
+    finally:
+        TerminationDetector.steal_mark = orig_mark
+        TerminationDetector.note_steal = orig_note
+
+
+@contextlib.contextmanager
+def fence_elision() -> Iterator[None]:
+    """Send the §5.3 dirty mark as a message without fencing the steal's
+    transfers (the ``late_dirty_mark`` protocol minus its fence).
+
+    A message-based mark must fence the thief's earlier one-sided ops to
+    the victim first, so the victim cannot observe the mark, vote, and
+    then have the steal's index update land afterwards.  This mutation
+    skips the fence — the window is narrow and rarely corrupts state on
+    random schedules, which is exactly why the race detector's fence
+    discipline (``unfenced-flag-store``) is the right tool to catch it.
+    """
+    orig_mark = TerminationDetector.steal_mark
+    orig_note = TerminationDetector.note_steal
+
+    def no_steal_mark(self: TerminationDetector, proc, victim: int):
+        return None
+
+    def unfenced_note_steal(self: TerminationDetector, proc, victim: int) -> None:
+        self._mark_dirty(proc)
+        if self._need_mark(victim):
+            victim_det = self.peers[victim]
+            self.armci.put(
+                proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
+            )
+            self.counters.add(proc.rank, "dirty_msgs")
+        else:
+            self.counters.add(proc.rank, "dirty_msgs_skipped")
+
+    TerminationDetector.steal_mark = no_steal_mark
     TerminationDetector.note_steal = unfenced_note_steal
     try:
         yield
     finally:
-        TerminationDetector.note_steal = orig
+        TerminationDetector.steal_mark = orig_mark
+        TerminationDetector.note_steal = orig_note
 
 
 @contextlib.contextmanager
@@ -133,6 +183,7 @@ MUTATIONS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
     "none": no_mutation,
     "unlocked_split": unlocked_split,
     "no_dirty_mark": no_dirty_mark,
+    "late_dirty_mark": late_dirty_mark,
     "fence_elision": fence_elision,
 }
 

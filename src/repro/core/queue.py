@@ -25,13 +25,14 @@ line).
 from __future__ import annotations
 
 import bisect
+from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.analyze import hooks
 from repro.armci.runtime import Armci
 from repro.core.config import SciotoConfig
 from repro.core.task import Task
-from repro.obs.record import observe, span
+from repro.obs.record import edge_here, edge_mark, observe, span
 from repro.obs.tracing import trace
 from repro.sim.engine import Engine, Proc
 from repro.sim.counters import Counters
@@ -79,6 +80,10 @@ class SplitQueue:
         # metadata.  The private portion is owner-only by construction, so
         # only shared-portion touches are instrumented.
         self._race_region = ("queue", name, owner)
+        # Causal-edge source key: the most recent point at which tasks
+        # became stealable here (release / remote add / locked insert).
+        # A successful steal emits a steal edge from that point.
+        self._share_key = ("qshare", name, owner)
 
     # ------------------------------------------------------------------ #
     # Introspection (no cost; owner-view or test use)
@@ -139,6 +144,7 @@ class SplitQueue:
             self._check_capacity(1)
             self._insert_by_affinity(self._private, task)
             trace(proc, "q-push", (self.owner, task.uid))
+            edge_mark(proc, ("spawn", task.uid), detail=task.uid)
             self._maybe_release(proc)
         else:
             self.mutex.acquire(proc)
@@ -148,6 +154,8 @@ class SplitQueue:
             hooks.shared_write(proc, self._race_region)
             self._insert_by_affinity(self._shared, task)
             trace(proc, "q-push", (self.owner, task.uid))
+            edge_mark(proc, ("spawn", task.uid), detail=task.uid)
+            edge_mark(proc, self._share_key)
             self.mutex.release(proc)
 
     def pop_local(self, proc: Proc) -> Task | None:
@@ -206,6 +214,7 @@ class SplitQueue:
         observe(proc, "queue_occupancy", self.size())
         with span(proc, "release", "queue", detail=k):
             self._owner_split_update(proc, _move)
+        edge_mark(proc, self._share_key, detail=k)
         self.counters.add(proc.rank, "release_ops")
         self.counters.add(proc.rank, "tasks_released", k)
 
@@ -246,7 +255,13 @@ class SplitQueue:
     # ------------------------------------------------------------------ #
     # Remote operations (thief / remote inserter side)
     # ------------------------------------------------------------------ #
-    def steal_from(self, proc: Proc, want: int, probe_first: bool = False) -> list[Task]:
+    def steal_from(
+        self,
+        proc: Proc,
+        want: int,
+        probe_first: bool = False,
+        on_transfer: Callable[[], None] | None = None,
+    ) -> list[Task]:
         """Steal up to ``want`` lowest-affinity tasks from this queue.
 
         Full one-sided protocol: lock, read metadata, bulk-get the chunk
@@ -258,13 +273,18 @@ class SplitQueue:
         — reading the split/tail words is safe without the mutex, and it
         makes idle-phase probing ~4x cheaper than a locked steal.  The
         scheduler enables this once steals start failing.
+
+        ``on_transfer`` (when given) runs at the instant a non-empty
+        chunk leaves the shared portion, inside the locked transaction —
+        the §5.3 dirty mark rides here so the owner can never observe
+        the emptied queue without it (``TerminationDetector.steal_mark``).
         """
         if proc.rank == self.owner:
             raise TaskCollectionError("a process cannot steal from itself")
         m = self.engine.machine
         self.counters.add(proc.rank, "steal_attempt")
         if self.config.wait_free_steals:
-            return self._steal_waitfree(proc, want)
+            return self._steal_waitfree(proc, want, on_transfer)
         if probe_first:
             n_shared = self.armci.get(
                 proc, self.owner, QUEUE_META_BYTES, lambda: len(self._shared)
@@ -284,6 +304,8 @@ class SplitQueue:
             del self._shared[len(self._shared) - k :]
             if taken:
                 trace(proc, "q-steal", (self.owner, tuple(t.uid for t in taken)))
+                if on_transfer is not None:
+                    on_transfer()
             return taken
 
         probe_k = min(want, len(self._shared))
@@ -301,9 +323,15 @@ class SplitQueue:
         self.counters.add(proc.rank, "steal_success")
         self.counters.add(proc.rank, "tasks_stolen", len(tasks))
         trace(proc, "steal", f"{len(tasks)} tasks from rank {self.owner}")
+        edge_here(proc, self._share_key, "steal", detail=len(tasks))
         return tasks
 
-    def _steal_waitfree(self, proc: Proc, want: int) -> list[Task]:
+    def _steal_waitfree(
+        self,
+        proc: Proc,
+        want: int,
+        on_transfer: Callable[[], None] | None = None,
+    ) -> list[Task]:
         """Wait-free steal (§8 future work): one remote atomic reserves the
         chunk by moving the tail index; the descriptors then move with a
         single get.  No mutex is taken, so an in-progress steal never
@@ -318,6 +346,8 @@ class SplitQueue:
             del self._shared[len(self._shared) - k :]
             if taken:
                 trace(proc, "q-steal", (self.owner, tuple(t.uid for t in taken)))
+                if on_transfer is not None:
+                    on_transfer()
             return taken
 
         tasks = self.armci.rmw(proc, self.owner, _reserve)
@@ -330,6 +360,7 @@ class SplitQueue:
         self.counters.add(proc.rank, "steal_success")
         self.counters.add(proc.rank, "tasks_stolen", len(tasks))
         trace(proc, "steal-wf", f"{len(tasks)} tasks from rank {self.owner}")
+        edge_here(proc, self._share_key, "steal", detail=len(tasks))
         return tasks
 
     def absorb_stolen(self, proc: Proc, tasks: list[Task]) -> None:
@@ -364,6 +395,7 @@ class SplitQueue:
         if self.config.split_queues:
             self._maybe_release(proc)
         else:
+            edge_mark(proc, self._share_key, detail=len(tasks))
             self.mutex.release(proc)
 
     def add_remote(self, proc: Proc, task: Task) -> None:
@@ -383,6 +415,8 @@ class SplitQueue:
             hooks.shared_write(proc, self._race_region)
             self._insert_by_affinity(self._shared, task)
             trace(proc, "q-add-remote", (self.owner, task.uid))
+            edge_mark(proc, ("spawn", task.uid), detail=task.uid)
+            edge_mark(proc, self._share_key)
 
         if self.config.wait_free_steals:
             # reserve a slot with one atomic, then put the descriptor

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.armci.runtime import Armci
 from repro.core.stats import ProcessStats
 from repro.core.stealing import make_victim_selector
-from repro.obs.record import Recorder, observe, span
+from repro.obs.record import Recorder, edge_here, observe, span
 from repro.obs.tracing import trace
 from repro.util.errors import TaskCollectionError
 
@@ -71,6 +71,8 @@ def run_process(tc) -> ProcessStats:
                     ) from None
                 t0 = proc.now
                 trace(proc, "task-exec", task.uid)
+                edge_here(proc, ("spawn", task.uid), "spawn",
+                          detail=task.uid, clear=True)
                 with span(proc, "task", "task", detail=task.uid):
                     fn(tc, task)
                 observe(proc, "task_time", proc.now - t0)
@@ -88,7 +90,10 @@ def run_process(tc) -> ProcessStats:
                 t_steal = proc.now
                 with span(proc, "steal", "steal", detail=victim):
                     got = shared.queues[victim].steal_from(
-                        proc, cfg.chunk_size, probe_first=fail_streak > 0
+                        proc,
+                        cfg.chunk_size,
+                        probe_first=fail_streak > 0,
+                        on_transfer=td.steal_mark(proc, victim),
                     )
                     selector.report(victim, bool(got))
                     if got:

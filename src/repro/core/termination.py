@@ -14,9 +14,13 @@ Dirty marking and the votes-before optimization (§5.3)
 
 Steals are one-sided, so the victim does not observe them.  To prevent
 the scenario where a thief that already cast a white vote becomes active
-again with stolen work, the thief sends the victim a *dirty mark* — an
-extra message that forces the victim's next token black.  The paper's
-optimization elides this message when it provably cannot matter:
+again with stolen work, the thief writes a *dirty mark* into the victim
+that forces the victim's next token black.  The mark piggybacks on the
+steal transaction itself (see :meth:`TerminationDetector.steal_mark`):
+it must become visible atomically with the transfer, or the victim can
+observe its emptied queue and vote white before a separately-sent mark
+lands.  The paper's optimization elides the mark when it provably
+cannot matter:
 
     the victim ``pv`` only needs marking if the thief ``pt`` has already
     voted in the current wave AND NOT ``pv votes-before pt`` (i.e. ``pv``
@@ -32,6 +36,8 @@ promptly while only *passive* processes vote.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 from repro.analyze import hooks
 from repro.armci.runtime import Armci
@@ -111,23 +117,54 @@ class TerminationDetector:
     # ------------------------------------------------------------------ #
     # Load-balancing hooks
     # ------------------------------------------------------------------ #
-    def note_steal(self, proc: Proc, victim: int) -> None:
-        """Record a successful steal; possibly dirty-mark the victim (§5.3)."""
-        self._mark_dirty(proc)
-        need_mark = (not self.optimize) or (
+    def _need_mark(self, victim: int) -> bool:
+        """§5.3: does stealing from ``victim`` require a dirty mark?"""
+        return (not self.optimize) or (
             self.voted and not is_descendant(victim, self.rank)
         )
-        if need_mark:
-            # The dirty mark is a *release* store: it must not be observed
-            # by the victim before the steal's one-sided transfers have
-            # completed, or the victim could vote white between seeing the
-            # mark and the stolen tasks landing.  Fence first (§5.3).
-            self.armci.fence(proc, victim)
-            victim_det = self.peers[victim]
-            self.armci.put(
-                proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
-            )
+
+    def steal_mark(self, proc: Proc, victim: int) -> Callable[[], None] | None:
+        """The §5.3 dirty mark, to apply *inside* the steal's locked
+        transfer (``SplitQueue.steal_from(on_transfer=...)``), or None
+        when the votes-before optimization elides it.
+
+        The mark piggybacks on the steal transaction's metadata update:
+        it lands at the same instant the tasks leave the shared portion,
+        under the victim's queue mutex, so the victim can never observe
+        its queue emptied by this steal without also observing the mark.
+        Delivering the mark as a separate message *after* the steal —
+        even fenced — leaves a window where the victim observes the
+        emptied queue, votes white, and the root completes an all-white
+        wave while the stolen work runs on a thief that also voted white
+        (the thief's own dirty flag only blackens the *next* wave).  The
+        ``no_dirty_mark`` / ``fence_elision`` mutations reinstate the
+        message-based variants to demonstrate the failure.
+        """
+        if not self._need_mark(victim):
+            return None
+        victim_det = self.peers[victim]
+
+        def _apply() -> None:
+            # The steal transaction's queue mutex already orders the mark
+            # after the transfer, so no separate fence/release is needed.
+            victim_det._mark_dirty(proc)
+
+        return _apply
+
+    def note_steal(self, proc: Proc, victim: int) -> None:
+        """Record a successful steal's bookkeeping.  The victim's §5.3
+        mark itself is applied by :meth:`steal_mark`'s closure inside the
+        transfer; this only marks the thief and records counters/edges."""
+        self._mark_dirty(proc)
+        if self._need_mark(victim):
             instant(proc, "dirty-mark", "termination", detail=victim)
+            rec = Recorder.of(self.engine)
+            if rec is not None and rec.edges_enabled:
+                # One-sided write landing in the victim's memory: a
+                # zero-latency cross-rank edge (the victim's next vote
+                # causally follows the thief's mark).
+                rec.add_edge("dirty", proc.rank, proc.now, victim, proc.now,
+                             detail=victim)
             self.counters.add(proc.rank, "dirty_msgs")
         else:
             instant(proc, "dirty-mark-skipped", "termination", detail=victim)

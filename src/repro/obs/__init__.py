@@ -19,22 +19,51 @@ simulated runtime:
   re-homed here from ``repro.sim.tracing`` (old path is a deprecated
   shim).
 * **Exporters** (:mod:`repro.obs.export`): Chrome ``trace_event`` JSON
-  (open in Perfetto), flat metrics JSON, ASCII per-rank timeline.
+  (open in Perfetto; causal edges drawn as flow arrows, the critical
+  path as its own process), flat metrics JSON, ASCII per-rank timeline.
 * **Analysis** (:mod:`repro.obs.analyze`): post-hoc summaries and
   critical-idle gap hunting over exported traces.
+* **Causal profiling** (:mod:`repro.obs.critpath`,
+  :mod:`repro.obs.whatif`): the cross-rank happens-before DAG built
+  from spans plus causal edges, critical-path extraction with an exact
+  blame decomposition of the makespan, and Coz-style what-if
+  projection ("what if steals were 2x faster?").
+* **Regression gate** (:mod:`repro.obs.diff`): a trajectory differ for
+  the committed benchmark/metrics JSON documents.
 
 CLI::
 
     python -m repro.obs run uts-small --trace out.json --metrics m.json
     python -m repro.obs summarize out.json
     python -m repro.obs critical-idle out.json --top 10
+    python -m repro.obs critpath uts-small --trace crit.json
+    python -m repro.obs whatif uts-small --scale steal=0.5
+    python -m repro.obs diff BENCH_sim.json fresh.json
     python -m repro.obs verify          # recording-on == recording-off
 
 See ``docs/observability.md`` for the full API and cost model.
 """
 
-from repro.obs.analyze import IdleGap, critical_idle, load_chrome_trace, summarize
+from repro.obs.analyze import (
+    IdleGap,
+    critical_idle,
+    load_chrome_trace,
+    load_metrics_json,
+    percentile_table,
+    summarize,
+)
+from repro.obs.critpath import (
+    BLAME_CATEGORIES,
+    CausalGraph,
+    CritPath,
+    PathStep,
+    blame_profile,
+    critical_path,
+    edge_blame,
+)
+from repro.obs.diff import DiffEntry, DiffReport, diff_documents, diff_files
 from repro.obs.export import (
+    FLOW_KINDS,
     METRICS_SCHEMA,
     ascii_timeline,
     chrome_trace,
@@ -51,9 +80,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.record import (
+    EdgeRecord,
     InstantRecord,
     Recorder,
     SpanRecord,
+    causal_edge,
     count,
     instant,
     observe,
@@ -61,16 +92,19 @@ from repro.obs.record import (
     span,
 )
 from repro.obs.tracing import TraceEvent, Tracer, trace
+from repro.obs.whatif import Projection, project
 
 __all__ = [
     "Recorder",
     "SpanRecord",
     "InstantRecord",
+    "EdgeRecord",
     "span",
     "observe",
     "count",
     "sample",
     "instant",
+    "causal_edge",
     "CounterFamily",
     "Gauge",
     "Histogram",
@@ -86,8 +120,24 @@ __all__ = [
     "summary_table",
     "self_times",
     "METRICS_SCHEMA",
+    "FLOW_KINDS",
     "load_chrome_trace",
+    "load_metrics_json",
+    "percentile_table",
     "summarize",
     "critical_idle",
     "IdleGap",
+    "BLAME_CATEGORIES",
+    "CausalGraph",
+    "CritPath",
+    "PathStep",
+    "blame_profile",
+    "critical_path",
+    "edge_blame",
+    "Projection",
+    "project",
+    "DiffEntry",
+    "DiffReport",
+    "diff_documents",
+    "diff_files",
 ]

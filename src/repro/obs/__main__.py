@@ -9,10 +9,24 @@ Subcommands:
 * ``summarize`` — post-hoc report over an exported trace JSON.
 * ``critical-idle`` — the longest per-rank idle gaps in an exported
   trace, with the spans that bounded them.
-* ``verify`` — run targets twice, recording off and on, and require
-  the virtual-time fingerprints (elapsed, event count, per-rank clocks
-  and every ``Counters`` value) to match bit-for-bit.  Exits 1 on any
-  divergence.
+* ``critpath`` — run a target, build the cross-rank happens-before DAG
+  from its spans and causal edges, extract the critical path, and
+  print the blame decomposition (the blamed durations sum to the
+  makespan).  ``--trace`` writes a Perfetto trace with the path
+  highlighted as its own process and flow arrows on the causal edges.
+* ``whatif`` — Coz-style causal projection: re-schedule the DAG with
+  one or more blame categories scaled (``--scale steal=0.5``) and
+  report the projected makespan.
+* ``diff`` — compare two benchmark/metrics JSON documents
+  (``repro-bench/1``, ``repro-bench-wall/1``, ``repro-obs-metrics/*``)
+  and report relative changes beyond a threshold; the CI perf gate
+  runs this warn-only against the committed baselines.
+* ``verify`` — run targets with recording off and on, and require the
+  virtual-time fingerprints (elapsed, event count, per-rank clocks and
+  every ``Counters`` value) to match bit-for-bit; additionally run
+  with causal edges off and require the span/instant stream to be
+  unchanged (edges are metadata-only).  Repeats per available
+  context-switch backend.  Exits 1 on any divergence.
 
 Examples::
 
@@ -20,6 +34,9 @@ Examples::
     python -m repro.obs run steals --timeline
     python -m repro.obs summarize out.json --top 10
     python -m repro.obs critical-idle out.json
+    python -m repro.obs critpath uts-small --trace crit.json
+    python -m repro.obs whatif uts-small --scale steal=0.5 --scale lock=0
+    python -m repro.obs diff BENCH_sim.json fresh.json --threshold 0.15
     python -m repro.obs verify queue termination steals
 """
 
@@ -30,8 +47,16 @@ import os
 import sys
 
 from repro.check.scenarios import SCENARIOS as CHECK_SCENARIOS
-from repro.sim.backends import BACKENDS, ENV_BACKEND
-from repro.obs.analyze import critical_idle, load_chrome_trace, summarize
+from repro.sim.backends import BACKENDS, ENV_BACKEND, available_backends
+from repro.obs.analyze import (
+    critical_idle,
+    load_chrome_trace,
+    load_metrics_json,
+    percentile_table,
+    summarize,
+)
+from repro.obs.critpath import CausalGraph, critical_path, render_critical_path
+from repro.obs.diff import diff_files, render_diff
 from repro.obs.export import (
     ascii_timeline,
     summary_table,
@@ -39,6 +64,7 @@ from repro.obs.export import (
     write_metrics_json,
 )
 from repro.obs.scenarios import TARGETS, fingerprint, run_target
+from repro.obs.whatif import parse_scales, project, render_projection
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -68,6 +94,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(ascii_timeline(rec.spans, run.engine.nprocs, width=args.width))
         print()
         print(summary_table(rec.spans, run.engine.nprocs))
+        print()
+        print(percentile_table(
+            {k: h.to_dict() for k, h in rec.metrics.histograms.items()}
+        ))
         if run.process_stats is not None:
             from repro.bench.report import per_rank_table
 
@@ -79,6 +109,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_summarize(args: argparse.Namespace) -> int:
     spans = load_chrome_trace(args.trace)
     print(summarize(spans, width=args.width, top=args.top))
+    if args.metrics:
+        doc = load_metrics_json(args.metrics)
+        print()
+        print(f"histogram percentiles ({doc.get('schema')}):")
+        print(percentile_table(doc.get("histograms", {})))
     return 0
 
 
@@ -94,26 +129,130 @@ def _cmd_critical_idle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    run = run_target(args.target, nprocs=args.nprocs, seed=args.seed)
+    rec = run.recorder
+    assert rec is not None
+    graph = CausalGraph.from_recorder(rec)
+    path = critical_path(graph)
+    print(
+        f"{run.target}: {run.elapsed * 1e3:.3f} ms virtual, "
+        f"{len(rec.spans)} spans, {len(rec.edges)} causal edges"
+    )
+    print(render_critical_path(path, graph, top=args.top))
+    if args.trace:
+        out = write_chrome_trace(rec, args.trace, tracer=run.tracer, critpath=path)
+        print(f"chrome trace (critical path highlighted) -> {out}")
+    if args.check:
+        blamed = sum(path.blame().values())
+        frac = sum(path.blame_fractions().values())
+        ok = bool(path.steps)
+        ok = ok and abs(blamed - path.makespan) <= 1e-9 * max(path.makespan, 1.0)
+        ok = ok and abs(frac - 1.0) <= 1e-9
+        if not ok:
+            print(
+                f"CHECK FAILED: steps={len(path.steps)} "
+                f"blamed={blamed!r} makespan={path.makespan!r} fractions={frac!r}"
+            )
+            return 1
+        print(
+            f"check ok: {len(path.steps)} steps, blame sums to makespan "
+            f"(fractions total {frac:.12f})"
+        )
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    try:
+        scales = parse_scales(args.scale or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = run_target(args.target, nprocs=args.nprocs, seed=args.seed)
+    rec = run.recorder
+    assert rec is not None
+    graph = CausalGraph.from_recorder(rec)
+    proj = project(graph, scales)
+    print(render_projection(proj))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        report = diff_files(args.old, args.new, threshold=args.threshold)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(report, verbose=args.verbose))
+    if report.regressions and args.fail_on_regress:
+        return 1
+    return 0
+
+
+def _verify_backends(args: argparse.Namespace) -> list[str]:
+    """Backends the verify loop should cover.
+
+    An explicit ``--backend`` pins the loop to that one; otherwise every
+    *available* production backend is exercised (greenlet is skipped
+    gracefully where the package is not installed — all backends are
+    bit-for-bit identical by construction, and CI runs the full set).
+    """
+    if args.backend is not None and args.backend != "auto":
+        return [args.backend]
+    avail = available_backends()
+    return [b for b in ("thread", "greenlet") if b in avail]
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     targets = args.targets or sorted(CHECK_SCENARIOS)
+    backends = _verify_backends(args)
     bad = 0
-    for name in targets:
-        base = fingerprint(
-            run_target(name, nprocs=args.nprocs, seed=args.seed, record=False)
-        )
-        rec = fingerprint(
-            run_target(name, nprocs=args.nprocs, seed=args.seed, record=True)
-        )
-        if base == rec:
-            print(f"{name}: ok (recording leaves the run bit-for-bit unchanged)")
-            continue
-        bad += 1
-        print(f"{name}: DIVERGED with recording on")
-        for key in sorted(set(base) | set(rec)):
-            if base.get(key) != rec.get(key):
-                print(f"  {key}: off={base.get(key)!r}")
-                print(f"  {key}:  on={rec.get(key)!r}")
-    print(f"\n{len(targets) - bad}/{len(targets)} targets deterministic under recording")
+    checks = 0
+    saved = os.environ.get(ENV_BACKEND)
+    try:
+        for backend in backends:
+            os.environ[ENV_BACKEND] = backend
+            for name in targets:
+                checks += 1
+                base = fingerprint(
+                    run_target(name, nprocs=args.nprocs, seed=args.seed,
+                               record=False)
+                )
+                on = run_target(name, nprocs=args.nprocs, seed=args.seed,
+                                record=True)
+                rec = fingerprint(on)
+                if base != rec:
+                    bad += 1
+                    print(f"{name}[{backend}]: DIVERGED with recording on")
+                    for key in sorted(set(base) | set(rec)):
+                        if base.get(key) != rec.get(key):
+                            print(f"  {key}: off={base.get(key)!r}")
+                            print(f"  {key}:  on={rec.get(key)!r}")
+                    continue
+                # Causal edges must be metadata-only: recording with them
+                # disabled must reproduce the identical span stream.
+                off = run_target(name, nprocs=args.nprocs, seed=args.seed,
+                                 record=True, edges=False)
+                assert on.recorder is not None and off.recorder is not None
+                if (
+                    on.recorder.stream_fingerprint()
+                    != off.recorder.stream_fingerprint()
+                ):
+                    bad += 1
+                    print(f"{name}[{backend}]: span stream DIVERGED "
+                          f"between edges on and off")
+                    continue
+                print(f"{name}[{backend}]: ok (fingerprint and span stream "
+                      f"unchanged by recording and causal edges)")
+    finally:
+        if saved is None:
+            os.environ.pop(ENV_BACKEND, None)
+        else:
+            os.environ[ENV_BACKEND] = saved
+    print(
+        f"\n{checks - bad}/{checks} target/backend combinations deterministic "
+        f"under recording (backends: {', '.join(backends)})"
+    )
     return 1 if bad else 0
 
 
@@ -146,12 +285,56 @@ def main(argv: list[str] | None = None) -> int:
     p_sum.add_argument("trace", help="Chrome trace JSON written by 'run'")
     p_sum.add_argument("--top", type=int, default=5)
     p_sum.add_argument("--width", type=int, default=80)
+    p_sum.add_argument("--metrics", metavar="PATH",
+                       help="also print histogram percentiles from this "
+                       "metrics JSON (schema /1 or /2)")
     p_sum.set_defaults(fn=_cmd_summarize)
 
     p_idle = sub.add_parser("critical-idle", help="longest per-rank idle gaps")
     p_idle.add_argument("trace", help="Chrome trace JSON written by 'run'")
     p_idle.add_argument("--top", type=int, default=5)
     p_idle.set_defaults(fn=_cmd_critical_idle)
+
+    p_crit = sub.add_parser(
+        "critpath", help="critical path + blame decomposition of a run"
+    )
+    p_crit.add_argument("target", choices=sorted(TARGETS))
+    p_crit.add_argument("--nprocs", type=int, default=4)
+    p_crit.add_argument("--seed", type=int, default=0)
+    p_crit.add_argument("--top", type=int, default=12,
+                        help="longest path steps to print")
+    p_crit.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace with the path highlighted")
+    p_crit.add_argument("--check", action="store_true",
+                        help="exit 1 unless the path is non-empty and its "
+                        "blame fractions sum to 1 (CI smoke)")
+    p_crit.set_defaults(fn=_cmd_critpath)
+
+    p_what = sub.add_parser(
+        "whatif", help="causal what-if projection over the happens-before DAG"
+    )
+    p_what.add_argument("target", choices=sorted(TARGETS))
+    p_what.add_argument("--nprocs", type=int, default=4)
+    p_what.add_argument("--seed", type=int, default=0)
+    p_what.add_argument("--scale", action="append", metavar="CAT=FACTOR",
+                        help="scale a blame category, e.g. steal=0.5 "
+                        "(repeatable)")
+    p_what.set_defaults(fn=_cmd_whatif)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two benchmark/metrics JSON documents"
+    )
+    p_diff.add_argument("old", help="baseline JSON document")
+    p_diff.add_argument("new", help="candidate JSON document")
+    p_diff.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change below this is noise "
+                        "(default 0.10)")
+    p_diff.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any regression exceeds the "
+                        "threshold (default: warn only)")
+    p_diff.add_argument("--verbose", action="store_true",
+                        help="print every comparison, not just changes")
+    p_diff.set_defaults(fn=_cmd_diff)
 
     p_ver = sub.add_parser(
         "verify", help="recording-on == recording-off determinism check"

@@ -25,7 +25,19 @@ from pathlib import Path
 from repro.obs.export import ascii_timeline, self_times, summary_table
 from repro.obs.record import SpanRecord
 
-__all__ = ["load_chrome_trace", "IdleGap", "critical_idle", "summarize"]
+__all__ = [
+    "load_chrome_trace",
+    "load_metrics_json",
+    "percentile_table",
+    "IdleGap",
+    "critical_idle",
+    "summarize",
+]
+
+#: Metrics schemas this reader understands.  ``/1`` documents predate
+#: stored percentiles; :func:`load_metrics_json` recomputes them from
+#: the serialized bucket edges/counts so downstream code sees one shape.
+METRICS_SCHEMAS = ("repro-obs-metrics/1", "repro-obs-metrics/2")
 
 
 def load_chrome_trace(path: str | Path) -> list[SpanRecord]:
@@ -52,6 +64,63 @@ def load_chrome_trace(path: str | Path) -> list[SpanRecord]:
             )
         )
     return spans
+
+
+def _bucket_quantile(hist: dict, q: float) -> float | None:
+    """Quantile from serialized edges/counts (same rule as Histogram)."""
+    count = hist.get("count", 0)
+    if not count:
+        return None
+    edges, counts = hist.get("edges", []), hist.get("counts", [])
+    target = q * count
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= target and c:
+            return edges[i] if i < len(edges) else hist.get("max")
+    return hist.get("max")
+
+
+def load_metrics_json(path: str | Path) -> dict:
+    """Load a metrics JSON document, accepting schemas ``/1`` and ``/2``.
+
+    Returns the document normalized to the ``/2`` shape: every
+    histogram carries ``p50``/``p95``/``p99``.  A ``/1`` document (no
+    stored percentiles) gets them recomputed from its bucket counts,
+    so readers and the differ never need to branch on schema.
+    """
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    if schema not in METRICS_SCHEMAS:
+        raise ValueError(
+            f"{path}: unsupported metrics schema {schema!r}; "
+            f"expected one of {METRICS_SCHEMAS}"
+        )
+    for hist in doc.get("histograms", {}).values():
+        for q, key in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+            if hist.get(key) is None:
+                hist[key] = _bucket_quantile(hist, q)
+    return doc
+
+
+def percentile_table(histograms: dict[str, dict]) -> str:
+    """One row per histogram: count, mean, p50/p95/p99, max.
+
+    Values are printed in the histogram's native unit (seconds for the
+    latency metrics, plain counts for chunk/occupancy ones).
+    """
+    if not histograms:
+        return "(no histograms)"
+    header = ["histogram", "count", "mean", "p50", "p95", "p99", "max"]
+    lines = ["  ".join(f"{h:>14}" for h in header)]
+    for name in sorted(histograms):
+        h = histograms[name]
+        row = [name, str(h.get("count", 0))]
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            v = h.get(key)
+            row.append("-" if v is None else f"{v:.6g}")
+        lines.append("  ".join(f"{v:>14}" for v in row))
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -5,8 +5,15 @@ Three views of one recording:
 * :func:`chrome_trace` — the Chrome/Perfetto ``trace_event`` format
   (load the file at https://ui.perfetto.dev or ``chrome://tracing``).
   One track (``tid``) per rank, spans as complete (``"ph": "X"``)
-  events, marker events as instants (``"ph": "i"``).  Timestamps are
-  microseconds of *virtual* time.
+  events, marker events as instants (``"ph": "i"``), and cross-rank
+  causal edges as flow arrows (``"ph": "s"``/``"f"`` pairs sharing an
+  ``id``) — Perfetto draws an arrow from, e.g., the victim-side queue
+  release to the thief's steal span.  Spawn edges are omitted by
+  default (tens of thousands of arrows hide the interesting ones).
+  When a :class:`repro.obs.critpath.CritPath` is passed, its steps are
+  rendered as a separate "critical path" process (``pid`` 1) so the
+  makespan-determining chain is visible above the rank tracks.
+  Timestamps are microseconds of *virtual* time.
 * :func:`metrics_dict` — a flat JSON document with counter totals,
   per-rank counters, gauges, and histograms, suitable for diffing
   between runs.
@@ -37,10 +44,16 @@ __all__ = [
     "summary_table",
     "self_times",
     "METRICS_SCHEMA",
+    "FLOW_KINDS",
 ]
 
-#: Schema tag stamped into every metrics JSON document.
-METRICS_SCHEMA = "repro-obs-metrics/1"
+#: Schema tag stamped into every metrics JSON document.  ``/2`` added
+#: p50/p95/p99 to each histogram; readers accept both (see
+#: :func:`repro.obs.analyze.load_metrics_json`).
+METRICS_SCHEMA = "repro-obs-metrics/2"
+
+#: Causal-edge kinds exported as Perfetto flow arrows by default.
+FLOW_KINDS: tuple[str, ...] = ("steal", "msg", "lock", "dirty")
 
 #: Category -> single character used by the ASCII timeline, in priority
 #: order (earlier wins when a bucket holds several categories).
@@ -62,13 +75,21 @@ def _span_args(span: SpanRecord) -> dict | None:
     return {"detail": str(span.detail)}
 
 
-def chrome_trace(recorder: Recorder, tracer: "Tracer | None" = None) -> dict:
+def chrome_trace(
+    recorder: Recorder,
+    tracer: "Tracer | None" = None,
+    critpath: "object | None" = None,
+    flow_kinds: tuple[str, ...] = FLOW_KINDS,
+) -> dict:
     """Build a Chrome ``trace_event`` document from a recording.
 
     Args:
         recorder: The engine's span/metrics recorder.
         tracer: Optional structured-event tracer; its events are added
             as instant events on the owning rank's track.
+        critpath: Optional :class:`repro.obs.critpath.CritPath`; its
+            steps become a highlighted "critical path" process.
+        flow_kinds: Causal-edge kinds to draw as flow arrows.
     """
     events: list[dict] = [
         {
@@ -148,6 +169,25 @@ def chrome_trace(recorder: Recorder, tracer: "Tracer | None" = None) -> dict:
                     "args": {} if e.detail is None else {"detail": str(e.detail)},
                 }
             )
+    flows = 0
+    for edge in recorder.edges:
+        if edge.kind not in flow_kinds:
+            continue
+        flows += 1
+        base = {"name": edge.kind, "cat": "causal", "id": edge.eid, "pid": 0}
+        if edge.detail is not None:
+            base["args"] = {"detail": str(edge.detail)}
+        events.append(
+            {**base, "ph": "s", "ts": edge.src_time * 1e6, "tid": edge.src_rank}
+        )
+        # bp:"e" binds the arrow head to the enclosing slice (the steal
+        # span / lock-wait span the edge released).
+        events.append(
+            {**base, "ph": "f", "bp": "e", "ts": edge.dst_time * 1e6,
+             "tid": edge.dst_rank}
+        )
+    if critpath is not None:
+        events.extend(_critpath_events(critpath))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -155,16 +195,61 @@ def chrome_trace(recorder: Recorder, tracer: "Tracer | None" = None) -> dict:
             "source": "repro.obs",
             "spans_recorded": len(recorder.spans),
             "spans_dropped": recorder.dropped,
+            "edges_recorded": len(recorder.edges),
+            "flow_events": flows,
         },
     }
 
 
+def _critpath_events(critpath) -> list[dict]:
+    """Render a ``CritPath`` as its own Perfetto process (``pid`` 1)."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "critical path"},
+        },
+        {
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"sort_index": -1},  # above the rank tracks
+        },
+    ]
+    for step in critpath.steps:
+        blame = max(step.blame.items(), key=lambda kv: kv[1])[0] if step.blame else "idle"
+        name = f"{step.name} hop" if step.kind == "edge" else blame
+        events.append(
+            {
+                "name": name,
+                "cat": "critpath",
+                "ph": "X",
+                "ts": step.start * 1e6,
+                "dur": step.duration * 1e6,
+                "pid": 1,
+                "tid": 0,
+                "args": {
+                    "rank": step.rank,
+                    "kind": step.kind,
+                    "blame": blame,
+                },
+            }
+        )
+    return events
+
+
 def write_chrome_trace(
-    recorder: Recorder, path: str | Path, tracer: "Tracer | None" = None
+    recorder: Recorder,
+    path: str | Path,
+    tracer: "Tracer | None" = None,
+    critpath: "object | None" = None,
 ) -> Path:
     """Write the Chrome trace JSON to ``path`` and return it."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(recorder, tracer)))
+    path.write_text(json.dumps(chrome_trace(recorder, tracer, critpath=critpath)))
     return path
 
 

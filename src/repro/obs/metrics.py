@@ -167,6 +167,12 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            # Bucket-resolution percentiles (schema repro-obs-metrics/2);
+            # readers fall back to recomputing from edges/counts when
+            # loading a /1 document.
+            "p50": self.quantile(0.50) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
             "per_rank": {
                 str(r): {"count": self._rank_count[r], "sum": self._rank_sum[r]}
                 for r in sorted(self._rank_count)

@@ -17,10 +17,39 @@ checkable with ``python -m repro.obs verify``).
 Span nesting is per rank: spans opened while another span of the same
 rank is still open become its children (``depth``/``parent``), which is
 what lets the Chrome-trace exporter draw one stacked track per rank.
+
+Causal edges
+------------
+
+Besides per-rank spans, the recorder keeps the *cross-rank* causal
+edges that turn the span stream into a happens-before DAG
+(:mod:`repro.obs.critpath`).  Each :class:`EdgeRecord` connects a
+source point ``(src_rank, src_time)`` to a destination point
+``(dst_rank, dst_time)`` and carries a stable id (emission order,
+deterministic because the schedule is).  The runtime layers emit them
+at the four synchronization sites where one rank's progress causally
+depends on another's:
+
+* ``steal`` — a successful steal back to the victim-side release that
+  made the tasks stealable (``core/queue.py``);
+* ``msg`` — a mailbox message (termination token) from its post to the
+  poll that consumed it (``armci/runtime.py``);
+* ``lock`` — a contended mutex grant from the releaser to the woken
+  waiter (``sim/resources.py``);
+* ``spawn`` — a task's queue insertion to its execution
+  (``core/queue.py`` → ``core/scheduler.py``);
+* ``dirty`` — a §5.3 dirty mark landing in the victim's memory
+  (``core/termination.py``).
+
+Edges are metadata-only: emission reads ``proc.now`` and appends to a
+list, exactly like spans, so the span stream (and the schedule) is
+bit-for-bit identical with edges on or off — ``repro.obs verify``
+checks this.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -33,11 +62,17 @@ __all__ = [
     "Recorder",
     "SpanRecord",
     "InstantRecord",
+    "EdgeRecord",
     "span",
     "observe",
     "count",
     "sample",
     "instant",
+    "causal_edge",
+    "edge_mark",
+    "edge_here",
+    "edge_send",
+    "edge_recv",
 ]
 
 _KEY = "obs"
@@ -71,6 +106,24 @@ class InstantRecord:
     name: str
     category: str
     detail: Any = None
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """One cross-rank happens-before edge (source point → destination)."""
+
+    eid: int  #: stable id (emission order; deterministic per run)
+    kind: str  #: steal | msg | lock | spawn | dirty
+    src_rank: int
+    src_time: float
+    dst_rank: int
+    dst_time: float
+    detail: Any = None
+
+    @property
+    def latency(self) -> float:
+        """The edge's measured causal delay (clamped to be non-negative)."""
+        return max(self.dst_time - self.src_time, 0.0)
 
 
 class _NullSpan:
@@ -111,22 +164,32 @@ class Recorder:
 
     _KEY = _KEY
 
-    def __init__(self, engine: "Engine", capacity: int = 2_000_000) -> None:
+    def __init__(
+        self, engine: "Engine", capacity: int = 2_000_000, edges: bool = True
+    ) -> None:
         self.engine = engine
         self.capacity = capacity
         self.spans: list[SpanRecord] = []
         self.instants: list[InstantRecord] = []
+        self.edges: list[EdgeRecord] = []
+        self.edges_enabled = edges
         self.dropped = 0
         self.metrics = MetricsRegistry()
         # per-rank stacks of open span indexes (None = dropped placeholder)
         self._stacks: list[list[int | None]] = [[] for _ in range(engine.nprocs)]
+        # single-slot edge sources: key -> (rank, time, detail)
+        self._edge_marks: dict[Any, tuple[int, float, Any]] = {}
+        # FIFO edge sources mirroring message queues: key -> deque of sources
+        self._edge_pending: dict[Any, deque[tuple[int, float, Any]]] = {}
 
     @classmethod
-    def attach(cls, engine: "Engine", capacity: int = 2_000_000) -> "Recorder":
+    def attach(
+        cls, engine: "Engine", capacity: int = 2_000_000, edges: bool = True
+    ) -> "Recorder":
         """Enable recording on ``engine`` (idempotent)."""
         inst = engine.state.get(cls._KEY)
         if inst is None:
-            inst = cls(engine, capacity)
+            inst = cls(engine, capacity, edges=edges)
             engine.state[cls._KEY] = inst
         return inst
 
@@ -213,8 +276,95 @@ class Recorder:
         )
 
     # ------------------------------------------------------------------ #
+    # Causal-edge API (metadata-only; see module docstring)
+    # ------------------------------------------------------------------ #
+    def add_edge(
+        self,
+        kind: str,
+        src_rank: int,
+        src_time: float,
+        dst_rank: int,
+        dst_time: float,
+        detail: Any = None,
+    ) -> None:
+        """Record one happens-before edge with a stable, monotone id."""
+        if len(self.edges) >= self.capacity:
+            self.dropped += 1
+            return
+        self.edges.append(
+            EdgeRecord(
+                eid=len(self.edges),
+                kind=kind,
+                src_rank=src_rank,
+                src_time=src_time,
+                dst_rank=dst_rank,
+                dst_time=dst_time,
+                detail=detail,
+            )
+        )
+
+    def mark(self, key: Any, proc: "Proc", detail: Any = None) -> None:
+        """Remember ``proc``'s current point as the source for ``key``."""
+        self._edge_marks[key] = (proc.rank, proc.now, detail)
+
+    def edge_from_mark(
+        self, key: Any, proc: "Proc", kind: str, detail: Any = None,
+        clear: bool = False,
+    ) -> None:
+        """Emit an edge from the remembered source for ``key`` to here."""
+        src = self._edge_marks.pop(key, None) if clear else self._edge_marks.get(key)
+        if src is None:
+            return
+        self.add_edge(
+            kind, src[0], src[1], proc.rank, proc.now,
+            detail=detail if detail is not None else src[2],
+        )
+
+    def push_pending(self, key: Any, proc: "Proc", detail: Any = None) -> None:
+        """FIFO variant of :meth:`mark`, mirroring a message queue."""
+        self._edge_pending.setdefault(key, deque()).append(
+            (proc.rank, proc.now, detail)
+        )
+
+    def edge_from_pending(
+        self, key: Any, proc: "Proc", kind: str, detail: Any = None
+    ) -> None:
+        """Pop the oldest pending source for ``key`` and emit an edge.
+
+        The pending queue is appended on send and popped on receive in
+        the same virtual-time order as the underlying mailbox deque, so
+        sources and destinations pair up exactly.
+        """
+        q = self._edge_pending.get(key)
+        if not q:
+            return
+        src = q.popleft()
+        self.add_edge(
+            kind, src[0], src[1], proc.rank, proc.now,
+            detail=detail if detail is not None else src[2],
+        )
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    def stream_fingerprint(self) -> tuple:
+        """The span/instant stream as comparable structure.
+
+        Span ``detail`` is excluded: task uids are allocated from a
+        process-wide counter, so two otherwise identical runs in one
+        process record different uids.  Everything structural — rank,
+        name, category, timing, nesting — is covered, which is what the
+        edges-on vs. edges-off equality check in ``repro.obs verify``
+        needs.
+        """
+        return (
+            tuple(
+                (s.rank, s.name, s.category, s.start, s.end, s.depth, s.parent)
+                for s in self.spans
+            ),
+            tuple((i.time, i.rank, i.name, i.category) for i in self.instants),
+        )
+
     def finished_spans(self) -> list[SpanRecord]:
         """All spans that have been closed (open ones are excluded)."""
         return [s for s in self.spans if s.end is not None]
@@ -260,3 +410,51 @@ def instant(proc: "Proc", name: str, category: str = "runtime", detail: Any = No
     rec = proc.engine.state.get(_KEY)
     if rec is not None:
         rec.instant_event(proc, name, category, detail)
+
+
+def _edge_recorder(proc: "Proc") -> "Recorder | None":
+    rec = proc.engine.state.get(_KEY)
+    return rec if rec is not None and rec.edges_enabled else None
+
+
+def causal_edge(
+    proc: "Proc",
+    kind: str,
+    src_rank: int,
+    src_time: float,
+    detail: Any = None,
+) -> None:
+    """Record an edge from ``(src_rank, src_time)`` to here (no-op when off)."""
+    rec = _edge_recorder(proc)
+    if rec is not None:
+        rec.add_edge(kind, src_rank, src_time, proc.rank, proc.now, detail)
+
+
+def edge_mark(proc: "Proc", key: Any, detail: Any = None) -> None:
+    """Remember this point as the edge source for ``key`` (no-op when off)."""
+    rec = _edge_recorder(proc)
+    if rec is not None:
+        rec.mark(key, proc, detail)
+
+
+def edge_here(
+    proc: "Proc", key: Any, kind: str, detail: Any = None, clear: bool = False
+) -> None:
+    """Emit an edge from ``key``'s remembered source to here (no-op when off)."""
+    rec = _edge_recorder(proc)
+    if rec is not None:
+        rec.edge_from_mark(key, proc, kind, detail=detail, clear=clear)
+
+
+def edge_send(proc: "Proc", key: Any, detail: Any = None) -> None:
+    """FIFO-enqueue this point as a pending edge source (no-op when off)."""
+    rec = _edge_recorder(proc)
+    if rec is not None:
+        rec.push_pending(key, proc, detail)
+
+
+def edge_recv(proc: "Proc", key: Any, kind: str, detail: Any = None) -> None:
+    """Emit an edge from the oldest pending source for ``key`` to here."""
+    rec = _edge_recorder(proc)
+    if rec is not None:
+        rec.edge_from_pending(key, proc, kind, detail=detail)

@@ -66,16 +66,20 @@ def fingerprint(run: ObsRun) -> dict:
     return fp
 
 
-def _attach(engine: Engine, record: bool, events: bool) -> tuple[Recorder | None, Tracer | None]:
-    rec = Recorder.attach(engine) if record else None
+def _attach(
+    engine: Engine, record: bool, events: bool, edges: bool = True
+) -> tuple[Recorder | None, Tracer | None]:
+    rec = Recorder.attach(engine, edges=edges) if record else None
     trc = Tracer.attach(engine) if record and events else None
     return rec, trc
 
 
-def _run_check(name: str, seed: int, record: bool, events: bool) -> ObsRun:
+def _run_check(
+    name: str, seed: int, record: bool, events: bool, edges: bool = True
+) -> ObsRun:
     scenario = make_scenario(name)
     engine = Engine(scenario.nprocs, seed=seed, max_events=scenario.max_events)
-    rec, trc = _attach(engine, record, events)
+    rec, trc = _attach(engine, record, events, edges)
     scenario.build(engine)
     result = engine.run()
     return ObsRun(
@@ -88,12 +92,15 @@ def _run_check(name: str, seed: int, record: bool, events: bool) -> ObsRun:
     )
 
 
-def _run_uts(preset_name: str, nprocs: int, seed: int, record: bool, events: bool) -> ObsRun:
+def _run_uts(
+    preset_name: str, nprocs: int, seed: int, record: bool, events: bool,
+    edges: bool = True,
+) -> ObsRun:
     captured: list[Engine] = []
 
     def hook(engine: Engine) -> None:
         captured.append(engine)
-        _attach(engine, record, events)
+        _attach(engine, record, events, edges)
 
     r = run_uts_scioto(nprocs, preset(preset_name), seed=seed, engine_hook=hook)
     engine = captured[0]
@@ -109,12 +116,14 @@ def _run_uts(preset_name: str, nprocs: int, seed: int, record: bool, events: boo
     )
 
 
-def _run_scf(nprocs: int, seed: int, record: bool, events: bool) -> ObsRun:
+def _run_scf(
+    nprocs: int, seed: int, record: bool, events: bool, edges: bool = True
+) -> ObsRun:
     captured: list[Engine] = []
 
     def hook(engine: Engine) -> None:
         captured.append(engine)
-        _attach(engine, record, events)
+        _attach(engine, record, events, edges)
 
     problem = SCFProblem(nblocks=8, blocksize=4, decay=0.9)
     r = run_scf_scioto(nprocs, problem, iterations=2, seed=seed, engine_hook=hook)
@@ -130,12 +139,14 @@ def _run_scf(nprocs: int, seed: int, record: bool, events: bool) -> ObsRun:
     )
 
 
-def _run_tce(nprocs: int, seed: int, record: bool, events: bool) -> ObsRun:
+def _run_tce(
+    nprocs: int, seed: int, record: bool, events: bool, edges: bool = True
+) -> ObsRun:
     captured: list[Engine] = []
 
     def hook(engine: Engine) -> None:
         captured.append(engine)
-        _attach(engine, record, events)
+        _attach(engine, record, events, edges)
 
     problem = TCEProblem(nblocks=6, blocksize=8, density=0.4, seed=3)
     r = run_tce_scioto(nprocs, problem, seed=seed, engine_hook=hook)
@@ -151,18 +162,18 @@ def _run_tce(nprocs: int, seed: int, record: bool, events: bool) -> ObsRun:
     )
 
 
-def _target_table() -> dict[str, Callable[[int, int, bool, bool], ObsRun]]:
-    table: dict[str, Callable[[int, int, bool, bool], ObsRun]] = {}
+def _target_table() -> dict[str, Callable[..., ObsRun]]:
+    table: dict[str, Callable[..., ObsRun]] = {}
     for name in CHECK_SCENARIOS:
         table[name] = (
-            lambda nprocs, seed, record, events, _n=name: _run_check(
-                _n, seed, record, events
+            lambda nprocs, seed, record, events, edges=True, _n=name: _run_check(
+                _n, seed, record, events, edges
             )
         )
     for p in PRESETS:
         table[f"uts-{p}"] = (
-            lambda nprocs, seed, record, events, _p=p: _run_uts(
-                _p, nprocs, seed, record, events
+            lambda nprocs, seed, record, events, edges=True, _p=p: _run_uts(
+                _p, nprocs, seed, record, events, edges
             )
         )
     table["scf"] = _run_scf
@@ -170,8 +181,8 @@ def _target_table() -> dict[str, Callable[[int, int, bool, bool], ObsRun]]:
     return table
 
 
-#: Target name -> runner(nprocs, seed, record, events).
-TARGETS: dict[str, Callable[[int, int, bool, bool], ObsRun]] = _target_table()
+#: Target name -> runner(nprocs, seed, record, events, edges=True).
+TARGETS: dict[str, Callable[..., ObsRun]] = _target_table()
 
 
 def run_target(
@@ -180,13 +191,16 @@ def run_target(
     seed: int = 0,
     record: bool = True,
     events: bool = True,
+    edges: bool = True,
 ) -> ObsRun:
     """Run target ``name`` and return its :class:`ObsRun`.
 
     Check-scenario targets use their scenario's fixed rank count;
     ``nprocs`` applies to the application presets.  With
     ``record=False`` nothing attaches — the run is the pristine
-    baseline the determinism check compares against.
+    baseline the determinism check compares against.  ``edges=False``
+    records spans but not causal edges (the other half of the
+    determinism check: edges must be metadata-only).
     """
     try:
         runner = TARGETS[name]
@@ -194,4 +208,4 @@ def run_target(
         raise ValueError(
             f"unknown obs target {name!r}; choose from {sorted(TARGETS)}"
         ) from None
-    return runner(nprocs, seed, record, events)
+    return runner(nprocs, seed, record, events, edges)

@@ -14,7 +14,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.analyze.race import RaceDetector
-from repro.obs.record import Recorder
+from repro.obs.record import Recorder, causal_edge
 from repro.obs.tracing import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -41,6 +41,7 @@ class SimMutex:
         self.acquires = 0
         self.contended_acquires = 0
         self._acquired_at = 0.0  # holder's virtual acquire time (obs only)
+        self._grant_src: tuple[int, float] | None = None  # releaser point (obs only)
 
     def _request_cost(self, proc: Proc) -> float:
         m = self.engine.machine
@@ -67,6 +68,11 @@ class SimMutex:
                 rec.complete_span(
                     proc, f"lock-wait {self.name}", "lock", t_req, detail=self.name
                 )
+            # Only the proc the releaser just granted to runs here, so the
+            # grant source written in release() is ours to consume.
+            if self._grant_src is not None:
+                causal_edge(proc, "lock", *self._grant_src, detail=self.name)
+                self._grant_src = None
         det = RaceDetector.of(self.engine)
         if det is not None:
             det.on_mutex_acquire(proc, self)
@@ -92,6 +98,7 @@ class SimMutex:
         if self._waiters:
             nxt = self._waiters.popleft()
             self.holder = nxt
+            self._grant_src = (proc.rank, proc.now)
             grant_latency = (
                 self.engine.machine.local_lock_overhead
                 if nxt.rank == self.host_rank

@@ -267,6 +267,29 @@ class TestRPR005UnfencedFlagPut:
         """
         assert _lint(code, "RPR005") == []
 
+    def test_quiet_on_observability_edge_marks_in_callback(self):
+        # repro.obs recording calls (edge_mark, instant, ...) are pure
+        # observers; their names match the flag hint but store nothing.
+        code = """
+        def add_remote(self, proc, task):
+            def _insert():
+                self.peers[proc].append(task)
+                edge_mark(proc, ("spawn", task.uid))
+                instant(proc, "dirty-mark", "termination")
+            self.armci.put(proc, self.owner, 64, _insert)
+        """
+        assert _lint(code, "RPR005") == []
+
+    def test_observer_names_do_not_mask_real_flag_stores(self):
+        code = """
+        def add_remote(self, proc, task):
+            def _insert():
+                edge_mark(proc, ("spawn", task.uid))
+                self.peers[proc].done = True
+            self.armci.put(proc, self.owner, 64, _insert)
+        """
+        assert _ids(_lint(code, "RPR005")) == ["RPR005"]
+
 
 class TestRepoIsClean:
     def test_src_repro_lints_clean(self):

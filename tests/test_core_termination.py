@@ -149,6 +149,11 @@ class TestDirtyMarkOptimization:
 
         def main(proc):
             if proc.rank == thief:
+                # mirror the scheduler: the §5.3 mark applies inside the
+                # steal's transfer, then note_steal records bookkeeping
+                mark = dets[thief].steal_mark(proc, victim)
+                if mark is not None:
+                    mark()
                 dets[thief].note_steal(proc, victim)
             proc.sync()
 

@@ -28,8 +28,19 @@ def test_recorded_run_actually_recorded_something():
     assert run.recorder.metrics.histograms  # at least one histogram fed
 
 
+def test_recording_without_edges_keeps_span_stream_identical():
+    on = run_target("steals", record=True, edges=True)
+    off = run_target("steals", record=True, edges=False)
+    assert on.recorder.edges and not off.recorder.edges
+    assert on.recorder.stream_fingerprint() == off.recorder.stream_fingerprint()
+
+
 def test_verify_cli_passes_on_check_scenarios(capsys):
     from repro.obs.__main__ import main
 
     assert main(["verify", "queue", "steals"]) == 0
-    assert "2/2 targets deterministic" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    # one line per target/backend combination, plus the summary
+    assert "span stream unchanged by recording and causal edges" in out
+    assert "target/backend combinations deterministic" in out
+    assert "DIVERGED" not in out

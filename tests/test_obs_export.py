@@ -33,7 +33,8 @@ class TestChromeTrace:
         events = doc["traceEvents"]
         assert events, "trace must not be empty"
         for ev in events:
-            assert ev["ph"] in ("X", "i", "M")
+            # X/i/M plus the s/f flow-event pairs drawn for causal edges
+            assert ev["ph"] in ("X", "i", "M", "s", "f")
             assert ev["pid"] == 0
             assert isinstance(ev["tid"], int)
             if ev["ph"] != "M":

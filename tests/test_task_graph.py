@@ -184,3 +184,62 @@ class TestTaskGraph:
         for i, ds in deps.items():
             for j in ds:
                 assert pos[j] < pos[i], f"t{j} must precede t{i}"
+
+
+class TestStealAfterVoteDirtyMark:
+    """Regression: §5.3 marks delivered as a message after the steal lose
+    a race against the victim's vote.
+
+    Found by ``test_random_dags_respect_all_edges`` (seed=363, nprocs=3,
+    n=13, edge_prob=0.4375): rank 1 votes white, steals ``t3`` from rank
+    2, and rank 2 votes white before the thief's fenced dirty-mark put
+    lands — so wave 1 completes all-white while ``t3`` is executing and
+    its dependent ``t5`` is enqueued into a terminated collection and
+    silently dropped.  The fix applies the mark inside the steal's
+    locked transfer (``TerminationDetector.steal_mark``); the old
+    message-based protocol is preserved as the ``late_dirty_mark``
+    mutation, which must still reproduce the drop on this workload.
+    """
+
+    SEED, NPROCS, N, EDGE_PROB = 363, 3, 13, 0.4375
+
+    def _run_dag(self):
+        import numpy as np
+
+        rng = np.random.default_rng(self.SEED)
+        deps = {
+            i: [j for j in range(i) if rng.random() < self.EDGE_PROB]
+            for i in range(self.N)
+        }
+        order: list[int] = []
+        lock = threading.Lock()
+
+        def main(proc):
+            tc = TaskCollection.create(proc)
+            tg = TaskGraph.create(tc)
+
+            def step(tc_, task):
+                tc_.proc.compute(float(task.body % 3 + 1) * 1e-6)
+                with lock:
+                    order.append(task.body)
+
+            for i in range(self.N):
+                tg.add(f"t{i}", step, body=i, deps=[f"t{j}" for j in deps[i]])
+            tg.process()
+
+        _run(self.NPROCS, main, seed=self.SEED)
+        return order
+
+    def test_in_transfer_mark_runs_every_task(self):
+        assert sorted(self._run_dag()) == list(range(self.N))
+
+    def test_late_mark_mutation_reproduces_the_drop(self):
+        from repro.check.mutations import apply_mutation
+
+        with apply_mutation("late_dirty_mark"):
+            order = self._run_dag()
+        assert sorted(order) != list(range(self.N)), (
+            "the message-based dirty mark was expected to lose the race "
+            "and drop tasks on this workload; if it no longer does, the "
+            "regression fixture needs a new seed"
+        )
