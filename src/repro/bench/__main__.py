@@ -68,6 +68,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=["quick", "full"], default=None)
     parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
                         help="run only these experiments")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run experiments sharded over N fleet workers "
+                             "(python -m repro.fleet; default: in-process)")
     parser.add_argument("--json", default="BENCH_sim.json", metavar="PATH",
                         help="machine-readable record path (default: %(default)s)")
     parser.add_argument("--no-json", action="store_true",
@@ -75,22 +78,60 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     s = resolve_scale(args.scale)
     chosen = args.only or list(EXPERIMENTS)
-    print(f"# repro benchmark suite — scale={s}\n")
-    measured = []
-    for name in chosen:
-        fn, render_kwargs = EXPERIMENTS[name]
-        # Sanctioned wall-clock site: this measures how long the *host*
-        # takes to run the experiment, not anything in virtual time.
-        t0 = time.perf_counter()  # repro: lint-disable=RPR002
-        result = fn(s)
-        wall = time.perf_counter() - t0  # repro: lint-disable=RPR002
-        print(render(result, **render_kwargs))
-        print(f"  ({wall:.1f}s wall)\n")
-        measured.append((result, wall))
+    if args.jobs is not None:
+        measured = _run_fleet(chosen, s, args.jobs)
+    else:
+        print(f"# repro benchmark suite — scale={s}\n")
+        measured = []
+        for name in chosen:
+            fn, render_kwargs = EXPERIMENTS[name]
+            # Sanctioned wall-clock site: this measures how long the *host*
+            # takes to run the experiment, not anything in virtual time.
+            t0 = time.perf_counter()  # repro: lint-disable=RPR002
+            result = fn(s)
+            wall = time.perf_counter() - t0  # repro: lint-disable=RPR002
+            print(render(result, **render_kwargs))
+            print(f"  ({wall:.1f}s wall)\n")
+            measured.append((result, wall))
     if not args.no_json:
         out = write_bench_json(measured, args.json, s)
         print(f"bench record -> {out}")
     return 0
+
+
+def _run_fleet(chosen: list[str], scale_name: str, jobs: int):
+    """Run ``chosen`` experiments as fleet jobs; results keep suite order.
+
+    Virtual-time results are deterministic, so the sharded record is
+    identical to the serial one — only the host wall differs (and the
+    per-experiment wall is measured *inside* the worker, so the record
+    stays comparable).
+    """
+    from repro.fleet.jobs import bench_jobs
+    from repro.fleet.scheduler import FleetScheduler
+    from repro.util.records import SweepResult
+
+    print(f"# repro benchmark suite — scale={scale_name}, fleet jobs={jobs}\n")
+    report = FleetScheduler(jobs).run(bench_jobs(chosen, scale_name))
+    if not report.ok:
+        details = [c["key"] for c in report.crashed] + [
+            f"{r.key}: {r.error}" for r in report.failed_results
+        ]
+        raise RuntimeError(f"fleet bench run failed: {details}")
+    by_name = {r.payload["experiment"]: r for r in report.completed}
+    measured = []
+    for name in chosen:
+        res = by_name[name]
+        sweep = SweepResult.from_dict(res.payload["result"])
+        _fn, render_kwargs = EXPERIMENTS[name]
+        print(render(sweep, **render_kwargs))
+        print(f"  ({res.wall_s:.1f}s wall on worker {res.worker})\n")
+        measured.append((sweep, res.wall_s))
+    print(
+        f"fleet: {len(report.completed)} experiments on {jobs} workers, "
+        f"{report.steals} steals, {report.waves} waves\n"
+    )
+    return measured
 
 
 if __name__ == "__main__":

@@ -7,6 +7,8 @@ import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.util.io import atomic_write_text
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.util.records import SweepResult
 
@@ -61,22 +63,26 @@ def write_bench_json(
         results: ``(sweep_result, wall_seconds)`` per experiment run, in
             run order.  Wall seconds are *host* time for the experiment
             (the sanctioned wall-clock measurement), everything inside
-            the sweeps is virtual time.
+            the sweeps is virtual time.  Each result may be a
+            ``SweepResult`` or its ``to_dict()`` form (fleet workers
+            return the latter across the process boundary).
         path: Output file, conventionally ``BENCH_sim.json`` at the
             repo root so the perf trajectory is tracked across commits.
         scale_name: The active scale (``quick`` or ``full``).
+
+    The write is atomic (temp file + ``os.replace``), so a reader — or
+    an interrupted run — never observes a torn record.
     """
     doc = {
         "schema": BENCH_SCHEMA,
         "scale": scale_name,
         "experiments": [
-            {**r.to_dict(), "wall_seconds": wall} for r, wall in results
+            {**(r if isinstance(r, dict) else r.to_dict()), "wall_seconds": wall}
+            for r, wall in results
         ],
     }
     validate_bench_json(doc)
-    path = Path(path)
-    path.write_text(json.dumps(doc, indent=2))
-    return path
+    return atomic_write_text(Path(path), json.dumps(doc, indent=2))
 
 
 def validate_bench_json(doc: dict) -> None:

@@ -37,6 +37,7 @@ from typing import Any
 
 from repro.obs.scenarios import run_target
 from repro.sim.backends import available_backends
+from repro.util.io import atomic_write_text
 
 __all__ = [
     "WALL_SCHEMA",
@@ -180,8 +181,9 @@ def write_wall_json(
     if baselines:
         doc["baselines"] = baselines
     validate_wall_json(doc)
-    path.write_text(json.dumps(doc, indent=2) + "\n")
-    return path
+    # Atomic write: a run interrupted mid-emission (or racing a fleet
+    # campaign) can never leave a torn record behind.
+    return atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
 
 
 def validate_wall_json(doc: dict) -> None:

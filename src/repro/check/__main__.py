@@ -6,6 +6,10 @@ Examples::
     python -m repro.check --target all --schedules 100 --strategy pct
     python -m repro.check --target queue --mutate unlocked_split
     python -m repro.check --replay scioto-check/queue-random-s17.trace.json
+
+    # shard a campaign across worker processes (see docs/fleet.md);
+    # the failing-schedule set is identical for any --jobs N
+    python -m repro.check explore --target all --schedules 200 --jobs 4
 """
 
 from __future__ import annotations
@@ -95,7 +99,32 @@ def _print_result(res: ExploreResult, elapsed: float) -> None:
             )
 
 
+def _explore_fleet(argv: list[str]) -> int:
+    """``repro.check explore``: the fleet-sharded campaign runner."""
+    # Imported lazily: the fleet layer builds on repro.check, not the
+    # other way round, so the plain CLI stays import-light.
+    from repro.fleet.__main__ import (
+        add_explore_arguments,
+        explore_main,
+        normalize_explore_targets,
+    )
+
+    p = argparse.ArgumentParser(
+        prog="python -m repro.check explore",
+        description="Explore schedules sharded across fleet workers "
+        "(python -m repro.fleet explore).",
+    )
+    add_explore_arguments(p)
+    args = p.parse_args(argv)
+    normalize_explore_targets(args)
+    return explore_main(args)
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explore":
+        return _explore_fleet(argv[1:])
     args = _parser().parse_args(argv)
 
     if args.replay:

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.util.io import atomic_write_text
+
 __all__ = ["DecisionTrace", "minimize_decisions"]
 
 _FORMAT = 1
@@ -47,9 +49,13 @@ class DecisionTrace:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
-        """Write the trace as JSON; returns the path written."""
+        """Write the trace as JSON (atomically); returns the path written.
+
+        Atomic temp-file + ``os.replace``: parallel fleet workers
+        persisting into one directory, or an interrupted campaign, can
+        never leave a torn trace file.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": _FORMAT,
             "target": self.target,
@@ -63,8 +69,7 @@ class DecisionTrace:
             "signature": self.signature,
             "decisions": self.decisions,
         }
-        path.write_text(json.dumps(payload, indent=1))
-        return path
+        return atomic_write_text(path, json.dumps(payload, indent=1))
 
     @classmethod
     def load(cls, path: str | Path) -> "DecisionTrace":

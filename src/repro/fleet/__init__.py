@@ -1,0 +1,55 @@
+"""``repro.fleet`` — work-stealing multi-core meta-scheduler.
+
+Farms simulation jobs (schedule-exploration shards, bench experiments,
+mutation-matrix cells) out over ``multiprocessing`` workers using the
+paper's own split-queue work-stealing algorithm at the host level:
+per-worker job deques with a release/reacquire split, steal-half
+chunking, neighbor-first victim selection, and wave-based quiescence
+detection mirroring :mod:`repro.core.termination`.
+
+Entry points: ``python -m repro.fleet``, ``python -m repro.check
+explore --jobs N``, ``python -m repro.bench --jobs N``.  See
+``docs/fleet.md``.
+"""
+
+from repro.fleet.jobs import (
+    Job,
+    JobResult,
+    bench_jobs,
+    execute_job,
+    explore_jobs,
+    mutation_jobs,
+    trace_fingerprint,
+)
+from repro.fleet.results import (
+    ExploreSummary,
+    MergedFailure,
+    failing_set_digest,
+    merge_explore,
+    persist_failures,
+)
+from repro.fleet.scheduler import FleetReport, FleetScheduler, QuiescenceDetector
+from repro.fleet.seeds import derive_seed, derive_seeds
+from repro.fleet.wsqueue import WorkerDeque, neighbor_order
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "execute_job",
+    "explore_jobs",
+    "bench_jobs",
+    "mutation_jobs",
+    "trace_fingerprint",
+    "ExploreSummary",
+    "MergedFailure",
+    "merge_explore",
+    "failing_set_digest",
+    "persist_failures",
+    "FleetScheduler",
+    "FleetReport",
+    "QuiescenceDetector",
+    "derive_seed",
+    "derive_seeds",
+    "WorkerDeque",
+    "neighbor_order",
+]

@@ -1,0 +1,331 @@
+"""Fleet jobs: the unit of work the meta-scheduler farms out.
+
+A :class:`Job` is a small, picklable description of one batch of
+simulation work; :func:`execute_job` runs it *inside a worker process*
+and returns a picklable :class:`JobResult`.  Three job kinds cover the
+embarrassingly parallel surfaces of the toolchain:
+
+``explore``
+    One shard of a schedule-exploration campaign: a scenario, a
+    strategy, and a list of schedule indices.  Each index maps to a
+    strategy seed through :func:`repro.fleet.seeds.derive_seed`, so the
+    explored schedule set is independent of how indices were sharded
+    into jobs.  Failures come back with their full decision lists so
+    the parent can persist replayable traces.
+
+``bench``
+    One experiment of the paper-figure suite (``repro.bench``), run at
+    a given scale.  Virtual-time results are deterministic, so a
+    sharded suite reproduces the serial record exactly.
+
+``mutation``
+    One cell of the mutation matrix: explore a scenario under an
+    intentionally seeded protocol bug and report whether the checker
+    caught it — the fleet-scale version of the checker's self-test.
+
+``probe``
+    Fleet self-test jobs (sleep / crash / raise) used by the failure-
+    path tests and ``python -m repro.fleet probe``; a ``crash`` probe
+    SIGKILLs its own worker mid-job to exercise requeue handling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "execute_job",
+    "explore_jobs",
+    "bench_jobs",
+    "mutation_jobs",
+    "trace_fingerprint",
+    "JOB_KINDS",
+]
+
+JOB_KINDS = ("explore", "bench", "mutation", "probe")
+
+
+@dataclass
+class Job:
+    """One schedulable unit of fleet work.
+
+    Attributes:
+        kind: One of :data:`JOB_KINDS`.
+        key: Stable identifier, unique within a campaign; used for
+            reporting and requeue accounting.
+        params: Kind-specific payload (picklable primitives only).
+        attempts: Dispatch count so far; maintained by the scheduler.
+            A job whose worker dies is requeued exactly once
+            (``attempts`` reaches 2) before being reported as crashed.
+    """
+
+    kind: str
+    key: str
+    params: dict[str, Any] = field(default_factory=dict)
+    attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; use one of {JOB_KINDS}")
+
+
+@dataclass
+class JobResult:
+    """What a worker sends back for one completed job."""
+
+    key: str
+    kind: str
+    worker: int = -1
+    wall_s: float = 0.0
+    error: str | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ---------------------------------------------------------------------- #
+# Job builders (parent side)
+# ---------------------------------------------------------------------- #
+def explore_jobs(
+    targets: list[str],
+    schedules: int,
+    strategy: str = "random",
+    seed: int = 0,
+    engine_seed: int = 0,
+    mutation: str | None = None,
+    batch: int | None = None,
+    nworkers: int = 1,
+) -> list[Job]:
+    """Shard ``schedules`` interleavings of each target into fleet jobs.
+
+    The default batch size aims for ~4 jobs per worker per target so
+    the work-stealing scheduler has slack to rebalance; explicit
+    ``batch`` overrides.  Index ranges are contiguous per job, so jobs
+    for one target stay adjacent in the initial distribution (locality)
+    while remaining partition-independent thanks to derived seeds.
+    """
+    if schedules < 0:
+        raise ValueError("schedules must be >= 0")
+    if batch is None:
+        batch = max(1, schedules // max(1, nworkers * 4))
+    jobs = []
+    for target in targets:
+        for lo in range(0, schedules, batch):
+            indices = list(range(lo, min(lo + batch, schedules)))
+            jobs.append(
+                Job(
+                    kind="explore",
+                    key=f"explore/{target}/{strategy}/{indices[0]}-{indices[-1]}",
+                    params={
+                        "target": target,
+                        "strategy": strategy,
+                        "indices": indices,
+                        "seed": seed,
+                        "engine_seed": engine_seed,
+                        "mutation": mutation,
+                    },
+                )
+            )
+    return jobs
+
+
+def bench_jobs(experiments: list[str], scale: str) -> list[Job]:
+    """One job per paper-figure experiment."""
+    return [
+        Job(kind="bench", key=f"bench/{name}", params={"experiment": name, "scale": scale})
+        for name in experiments
+    ]
+
+
+def mutation_jobs(
+    cells: list[tuple[str, str]], schedules: int, seed: int = 0
+) -> list[Job]:
+    """One job per ``(target, mutation)`` cell of the mutation matrix."""
+    return [
+        Job(
+            kind="mutation",
+            key=f"mutation/{target}/{mutation}",
+            params={
+                "target": target,
+                "mutation": mutation,
+                "schedules": schedules,
+                "seed": seed,
+            },
+        )
+        for target, mutation in cells
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Trace fingerprints
+# ---------------------------------------------------------------------- #
+def trace_fingerprint(
+    target: str,
+    strategy: str,
+    strategy_seed: int,
+    engine_seed: int,
+    mutation: str | None,
+    signature: list,
+    decisions: list[dict],
+) -> str:
+    """Content hash identifying one failing schedule for deduplication.
+
+    Canonical-JSON SHA-256 over everything that determines the failing
+    interleaving, so two workers that independently hit the same
+    schedule produce byte-identical fingerprints.
+    """
+    doc = json.dumps(
+        {
+            "target": target,
+            "strategy": strategy,
+            "strategy_seed": strategy_seed,
+            "engine_seed": engine_seed,
+            "mutation": mutation or "none",
+            "signature": signature,
+            "decisions": decisions,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# Execution (worker side)
+# ---------------------------------------------------------------------- #
+def _execute_explore(params: dict[str, Any]) -> dict[str, Any]:
+    # Imports live here so the scheduler parent can be imported without
+    # pulling the whole runtime, and so forkserver preload stays light.
+    from repro.check.runner import run_once
+    from repro.check.scenarios import make_scenario
+    from repro.check.strategies import make_strategy
+    from repro.fleet.seeds import derive_seed
+    from repro.obs.metrics import MetricsRegistry
+
+    target = params["target"]
+    strategy_name = params["strategy"]
+    scenario = make_scenario(target)
+    # Worker-local registry; rides back on the result and is merged into
+    # the fleet registry under this worker's id (MetricsRegistry.merge_dict).
+    registry = MetricsRegistry()
+    events = 0
+    failures = []
+    for index in params["indices"]:
+        strat_seed = derive_seed(target, strategy_name, params["seed"], index)
+        strategy = make_strategy(strategy_name, seed=strat_seed)
+        outcome = run_once(
+            scenario,
+            strategy,
+            engine_seed=params["engine_seed"],
+            mutation=params["mutation"],
+        )
+        events += outcome.events
+        registry.observe("schedule_events", outcome.events, rank=0)
+        registry.add(0, "schedules_run")
+        if outcome.failed:
+            registry.add(0, "failing_schedules")
+            failures.append(
+                {
+                    "index": index,
+                    "strategy_seed": strat_seed,
+                    "signature": outcome.signature_json,
+                    "failure": outcome.describe(),
+                    "decisions": outcome.decisions,
+                    "fingerprint": trace_fingerprint(
+                        target,
+                        strategy_name,
+                        strat_seed,
+                        params["engine_seed"],
+                        params["mutation"],
+                        outcome.signature_json,
+                        outcome.decisions,
+                    ),
+                }
+            )
+    return {
+        "target": target,
+        "strategy": strategy_name,
+        "schedules": len(params["indices"]),
+        "events": events,
+        "failures": failures,
+        "metrics": registry.to_dict(),
+    }
+
+
+def _execute_bench(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.bench.__main__ import EXPERIMENTS
+
+    name = params["experiment"]
+    fn, _render = EXPERIMENTS[name]
+    result = fn(params["scale"])
+    return {"experiment": name, "result": result.to_dict()}
+
+
+def _execute_mutation(params: dict[str, Any]) -> dict[str, Any]:
+    shard = _execute_explore(
+        {
+            "target": params["target"],
+            "strategy": "random",
+            "indices": list(range(params["schedules"])),
+            "seed": params["seed"],
+            "engine_seed": 0,
+            "mutation": params["mutation"],
+        }
+    )
+    return {
+        "target": params["target"],
+        "mutation": params["mutation"],
+        "schedules": shard["schedules"],
+        "caught": bool(shard["failures"]),
+        "signatures": sorted(
+            {json.dumps(f["signature"]) for f in shard["failures"]}
+        ),
+    }
+
+
+def _execute_probe(params: dict[str, Any]) -> dict[str, Any]:
+    action = params.get("action", "ok")
+    if action == "sleep":
+        time.sleep(params.get("seconds", 0.05))
+    elif action == "crash":
+        # Self-test of the fleet's crash handling: die mid-job the way
+        # an OOM-killed or segfaulted worker would — no reply, no exit
+        # handler, just a vanished process.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "exit":
+        os._exit(params.get("code", 17))
+    elif action == "raise":
+        raise RuntimeError(params.get("message", "probe raised"))
+    elif action != "ok":
+        raise ValueError(f"unknown probe action {action!r}")
+    return {"echo": params.get("payload"), "pid": os.getpid()}
+
+
+_EXECUTORS = {
+    "explore": _execute_explore,
+    "bench": _execute_bench,
+    "mutation": _execute_mutation,
+    "probe": _execute_probe,
+}
+
+
+def execute_job(job: Job, worker: int = -1) -> JobResult:
+    """Run ``job`` to completion; exceptions become ``result.error``."""
+    t0 = time.perf_counter()  # host-side timing # repro: lint-disable=RPR002
+    result = JobResult(key=job.key, kind=job.kind, worker=worker)
+    try:
+        result.payload = _EXECUTORS[job.kind](job.params)
+    except Exception as exc:  # noqa: BLE001 - worker must never die on a job error
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.wall_s = time.perf_counter() - t0  # repro: lint-disable=RPR002
+    return result

@@ -1,0 +1,180 @@
+"""Result plumbing: merge shards, dedup failures, persist traces.
+
+An exploration campaign comes back from the fleet as unordered job
+results — each a shard of (schedule index -> outcome) for one target.
+:func:`merge_explore` reassembles them into the canonical campaign
+view: failures sorted by (target, schedule index), deduplicated the
+same way the serial explorer deduplicates (first occurrence of each
+failure *signature* per target wins), with every kept failure carrying
+its content-hash trace fingerprint.
+
+Because per-schedule seeds are derived, not positional
+(:mod:`repro.fleet.seeds`), the merged view is a pure function of the
+campaign parameters: any ``--jobs N`` produces byte-identical merged
+failures and :func:`failing_set_digest` values.  The regression test
+``tests/test_fleet_explore.py`` pins jobs=1 vs jobs=2 equality, and
+the committed ``BENCH_fleet.json`` records the digest at every jobs
+level it measured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.fleet.jobs import JobResult
+
+__all__ = [
+    "MergedFailure",
+    "ExploreSummary",
+    "merge_explore",
+    "failing_set_digest",
+    "persist_failures",
+]
+
+
+@dataclass(frozen=True)
+class MergedFailure:
+    """One deduplicated failing schedule of a merged campaign."""
+
+    target: str
+    strategy: str
+    index: int
+    strategy_seed: int
+    signature: tuple
+    failure: str
+    fingerprint: str
+    decisions: tuple = ()
+
+
+@dataclass
+class ExploreSummary:
+    """Campaign-level view of a merged exploration fleet run."""
+
+    schedules_run: int = 0
+    events_total: int = 0
+    per_target: dict[str, dict] = field(default_factory=dict)
+    failures: list[MergedFailure] = field(default_factory=list)
+    #: Every failing schedule before signature dedup (fingerprint set).
+    all_failure_fingerprints: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _freeze(value):
+    """JSON value -> hashable tuple form (signatures arrive as lists)."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def merge_explore(results: Iterable[JobResult]) -> ExploreSummary:
+    """Merge explore-job results into the canonical campaign summary.
+
+    Only ``explore`` results participate; job-level errors are the
+    scheduler's to report and are skipped here.  Dedup keeps, per
+    target, the lowest-index schedule of each failure signature —
+    exactly the serial explorer's ``seen_signatures`` rule, made
+    partition-independent by sorting on schedule index first.
+    """
+    summary = ExploreSummary()
+    raw: list[MergedFailure] = []
+    for res in results:
+        if res.kind != "explore" or not res.ok:
+            continue
+        p = res.payload
+        summary.schedules_run += p["schedules"]
+        summary.events_total += p["events"]
+        per = summary.per_target.setdefault(
+            p["target"], {"schedules": 0, "events": 0, "failures": 0}
+        )
+        per["schedules"] += p["schedules"]
+        per["events"] += p["events"]
+        for f in p["failures"]:
+            raw.append(
+                MergedFailure(
+                    target=p["target"],
+                    strategy=p["strategy"],
+                    index=f["index"],
+                    strategy_seed=f["strategy_seed"],
+                    signature=_freeze(f["signature"]),
+                    failure=f["failure"],
+                    fingerprint=f["fingerprint"],
+                    decisions=tuple(
+                        tuple(sorted(d.items())) for d in f["decisions"]
+                    ),
+                )
+            )
+    raw.sort(key=lambda f: (f.target, f.index))
+    summary.all_failure_fingerprints = [f.fingerprint for f in raw]
+    seen: set[tuple[str, tuple]] = set()
+    for f in raw:
+        key = (f.target, f.signature)
+        if key in seen:
+            continue
+        seen.add(key)
+        summary.failures.append(f)
+        summary.per_target[f.target]["failures"] += 1
+    return summary
+
+
+def failing_set_digest(summary: ExploreSummary) -> str:
+    """Content hash of the deduplicated failing-schedule set.
+
+    SHA-256 over the kept failures' fingerprints in merged order.  For
+    a fixed campaign (targets, strategy, seed, schedules) this digest
+    is byte-identical for any ``--jobs N`` — the committed
+    ``BENCH_fleet.json`` validator enforces it across its entries.
+    """
+    h = hashlib.sha256()
+    for f in summary.failures:
+        h.update(f.fingerprint.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def persist_failures(
+    summary: ExploreSummary,
+    out_dir: str | Path,
+    engine_seed: int = 0,
+    mutation: str | None = None,
+) -> list[Path]:
+    """Write each kept failure as a replayable decision-trace file.
+
+    Uses the same :class:`~repro.check.traces.DecisionTrace` format the
+    serial explorer persists, so ``python -m repro.check --replay``
+    works on fleet-found failures unchanged.  Writes are atomic
+    (``repro.util.io``) — parallel campaigns over one output directory
+    cannot tear a trace.
+    """
+    from repro.check.traces import DecisionTrace
+
+    out_dir = Path(out_dir)
+    paths = []
+    for f in summary.failures:
+        trace = DecisionTrace(
+            target=f.target,
+            strategy=f.strategy,
+            strategy_seed=f.strategy_seed,
+            engine_seed=engine_seed,
+            nprocs=_scenario_nprocs(f.target),
+            schedule_index=f.index,
+            failure=f.failure,
+            mutation=mutation if mutation is not None else "none",
+            signature=json.loads(json.dumps(f.signature, default=list)),
+            decisions=[dict(d) for d in f.decisions],
+        )
+        stem = f"{f.target}-{f.strategy}-s{f.strategy_seed}"
+        paths.append(trace.save(out_dir / f"{stem}.trace.json"))
+    return paths
+
+
+def _scenario_nprocs(target: str) -> int:
+    from repro.check.scenarios import make_scenario
+
+    return make_scenario(target).nprocs

@@ -1,0 +1,150 @@
+"""Host-level split job deques — the paper's §5 queue, dogfooded.
+
+Each fleet worker owns one :class:`WorkerDeque`, the meta-scheduler's
+analogue of the simulated runtime's :class:`repro.core.queue.SplitQueue`:
+a job list split into a *private* portion (head side — what the worker
+will run next, touched only by its own dispatch path) and a *shared*
+portion (tail side — what thieves may take).  The owner moves jobs
+across the split with the same release/reacquire discipline:
+
+* **release** — when the private portion holds surplus beyond
+  ``release_threshold``, the surplus spills to the shared portion,
+  making it stealable.
+* **reacquire** — when the private portion drains, the owner reclaims
+  half of the shared portion before looking for victims.
+* **steal-half** — a thief takes ``ceil(shared/2)`` jobs from the tail,
+  the paper's chunked steal: one migration halves the imbalance
+  instead of trickling single jobs.
+
+Everything runs in the scheduler parent (dispatch is single-threaded),
+so the split needs no locks — what it preserves is the *policy*: the
+private portion bounds how much locality a steal can destroy, and
+steal-half bounds how many steals a rebalance needs.  Counters mirror
+the simulated queue's (``release_ops``/``reacquire_ops``/``steals``)
+so fleet metrics read like runtime metrics.
+
+Victim selection is *neighbor-first* (Suksompong/Leiserson/Schardl's
+localized stealing): a thief probes victims in increasing ring distance
+(w+1, w-1, w+2, w-2, ...), so rebalancing traffic stays local and the
+steal path degrades gracefully as the fleet widens.
+"""
+
+from __future__ import annotations
+
+# The scheduler parent is single-threaded: every deque mutation happens
+# on one thread, so RPR001's lock-before-shared-mutation rule (written
+# for the *simulated* queue) does not apply at this layer.
+# repro: lint-disable-file=RPR001
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.jobs import Job
+
+__all__ = ["WorkerDeque", "neighbor_order"]
+
+
+def neighbor_order(thief: int, nworkers: int) -> list[int]:
+    """Victim candidates for ``thief``, nearest ring distance first.
+
+    At equal distance the right neighbour (w+d) is probed before the
+    left (w-d), matching the ring selector's direction in
+    :mod:`repro.core.stealing`.
+    """
+    order = []
+    for d in range(1, nworkers):
+        for cand in ((thief + d) % nworkers, (thief - d) % nworkers):
+            if cand != thief and cand not in order:
+                order.append(cand)
+    return order
+
+
+class WorkerDeque:
+    """One worker's split job queue inside the fleet scheduler."""
+
+    def __init__(self, owner: int, release_threshold: int = 2) -> None:
+        if release_threshold < 1:
+            raise ValueError("release_threshold must be >= 1")
+        self.owner = owner
+        self.release_threshold = release_threshold
+        # Index 0 is the head (next to run locally); steals take from
+        # the tail of the shared portion, i.e. the jobs the owner would
+        # reach last — the same affinity discipline as SplitQueue.
+        self._private: list["Job"] = []
+        self._shared: list["Job"] = []
+        self.release_ops = 0
+        self.reacquire_ops = 0
+        self.steals_suffered = 0
+        self.jobs_stolen_away = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        return len(self._private) + len(self._shared)
+
+    def private_size(self) -> int:
+        return len(self._private)
+
+    def shared_size(self) -> int:
+        return len(self._shared)
+
+    def empty(self) -> bool:
+        return not self._private and not self._shared
+
+    # ------------------------------------------------------------------ #
+    # Owner operations
+    # ------------------------------------------------------------------ #
+    def push(self, job: "Job") -> None:
+        """Append ``job`` at the private tail, then release surplus."""
+        self._private.append(job)
+        self._release_surplus()
+
+    def push_all(self, jobs: list["Job"]) -> None:
+        self._private.extend(jobs)
+        self._release_surplus()
+
+    def _release_surplus(self) -> None:
+        """Spill private surplus beyond the threshold to the shared tail."""
+        surplus = len(self._private) - self.release_threshold
+        if surplus > 0:
+            self._shared.extend(self._private[-surplus:])
+            del self._private[-surplus:]
+            self.release_ops += 1
+
+    def _reacquire(self) -> None:
+        """Reclaim half the shared portion when the private side drains."""
+        if not self._shared:
+            return
+        k = max(1, len(self._shared) // 2)
+        self._private.extend(self._shared[:k])
+        del self._shared[:k]
+        self.reacquire_ops += 1
+
+    def pop(self) -> "Job | None":
+        """Owner's next job (head side), reacquiring across the split."""
+        if not self._private:
+            self._reacquire()
+        if self._private:
+            return self._private.pop(0)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Thief operations
+    # ------------------------------------------------------------------ #
+    def steal_half(self) -> list["Job"]:
+        """Take ``ceil(shared/2)`` jobs from the shared tail.
+
+        Returns the stolen chunk (possibly empty).  Only the shared
+        portion is stealable: the private portion stays with its owner,
+        exactly as in the simulated protocol.
+        """
+        n = len(self._shared)
+        if n == 0:
+            return []
+        k = (n + 1) // 2
+        chunk = self._shared[-k:]
+        del self._shared[-k:]
+        self.steals_suffered += 1
+        self.jobs_stolen_away += k
+        return chunk

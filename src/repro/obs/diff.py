@@ -19,6 +19,10 @@ stable keys, and reports every relative change beyond a threshold:
   nprocs, seed)``; ``events`` must be *exactly* equal (the simulated
   schedule is deterministic — a drift here is a bug, not noise) and
   ``best_wall_s`` regresses upward.
+* ``repro-bench-fleet/1`` — entries matched by ``jobs``; ``schedules``
+  and ``failing_digest`` must be exactly equal (the campaign is
+  deterministic for any worker count) and ``schedules_per_sec``
+  regresses downward.
 
 The CI perf gate runs this warn-only against the committed baseline;
 ``--fail-on-regress`` turns regressions into exit code 1.
@@ -236,11 +240,37 @@ def _diff_wall(report: DiffReport, old: dict, new: dict) -> None:
                  n.get("best_wall_s"), "down")
 
 
+def _diff_fleet(report: DiffReport, old: dict, new: dict) -> None:
+    def entry_map(doc: dict) -> dict[int, dict]:
+        return {e["jobs"]: e for e in doc.get("entries", [])}
+
+    olds, news = entry_map(old), entry_map(new)
+    for k in sorted(olds.keys() | news.keys()):
+        key = f"fleet[jobs={k}]"
+        o, n = olds.get(k), news.get(k)
+        if o is None or n is None:
+            _compare(report, key, "entry", None if o is None else 0.0,
+                     None if n is None else 0.0)
+            continue
+        # The campaign is deterministic: schedule counts and the failing
+        # set must match exactly; throughput regresses downward.
+        _compare(report, key, "schedules", o.get("schedules"),
+                 n.get("schedules"), exact=True)
+        _compare(report, key, "schedules_per_sec", o.get("schedules_per_sec"),
+                 n.get("schedules_per_sec"), "up")
+        od, nd = o.get("failing_digest"), n.get("failing_digest")
+        if od != nd:
+            report.entries.append(
+                DiffEntry(key, "failing_digest", 0.0, 1.0, 0.0, "mismatch")
+            )
+
+
 _WALKERS = {
     "repro-bench/1": _diff_bench,
     "repro-obs-metrics/1": _diff_metrics,
     "repro-obs-metrics/2": _diff_metrics,
     "repro-bench-wall/1": _diff_wall,
+    "repro-bench-fleet/1": _diff_fleet,
 }
 
 

@@ -35,6 +35,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "TIME_BUCKETS",
     "COUNT_BUCKETS",
+    "HOST_TIME_BUCKETS",
+    "WIDE_COUNT_BUCKETS",
 ]
 
 
@@ -192,6 +194,13 @@ TIME_BUCKETS: tuple[float, ...] = _log_buckets(50e-9, 100e-3, per_decade=3)
 #: Small-integer default edges (chunk sizes, queue occupancy).
 COUNT_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
+#: Host-side latency edges: 1ms .. 100s — fleet job walls, not
+#: simulated-protocol latencies (those use TIME_BUCKETS).
+HOST_TIME_BUCKETS: tuple[float, ...] = _log_buckets(1e-3, 100.0, per_decade=3)
+
+#: Wide integer edges (per-schedule event counts): 1 .. 1M.
+WIDE_COUNT_BUCKETS: tuple[float, ...] = _log_buckets(1.0, 1e6, per_decade=1)
+
 #: Per-metric bucket edges; unnamed metrics fall back to TIME_BUCKETS.
 DEFAULT_BUCKETS: dict[str, tuple[float, ...]] = {
     "steal_latency": TIME_BUCKETS,
@@ -203,6 +212,10 @@ DEFAULT_BUCKETS: dict[str, tuple[float, ...]] = {
     "lock_hold": TIME_BUCKETS,
     "task_time": TIME_BUCKETS,
     "idle_wait": TIME_BUCKETS,
+    # Fleet (host-level) metrics — see repro.fleet.scheduler.
+    "job_wall": HOST_TIME_BUCKETS,
+    "steal_chunk_jobs": COUNT_BUCKETS,
+    "schedule_events": WIDE_COUNT_BUCKETS,
 }
 
 
@@ -262,3 +275,53 @@ class MetricsRegistry:
             "gauges": {k: g.to_dict() for k, g in sorted(self.gauges.items())},
             "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
         }
+
+    # -- aggregation ---------------------------------------------------- #
+    def merge_dict(self, doc: dict, into_rank: int | None = None) -> None:
+        """Fold a serialized registry (:meth:`to_dict` form) into this one.
+
+        The fleet scheduler uses this to aggregate metric snapshots that
+        ride back from worker processes on job results: counter values
+        add, histogram buckets add (edges must match), gauges fold
+        min/max/samples and adopt the incoming last-values.
+
+        Args:
+            doc: A document produced by :meth:`to_dict` (possibly in
+                another process).
+            into_rank: When given, every per-rank value in ``doc`` is
+                attributed to this rank — used to re-key a worker's
+                local ranks to its fleet worker id.  When ``None``,
+                original rank keys are preserved.
+        """
+        for rank_str, kv in doc.get("counters", {}).get("per_rank", {}).items():
+            rank = into_rank if into_rank is not None else int(rank_str)
+            for key, value in kv.items():
+                self.counters.add(rank, key, value)
+        for name, g in doc.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            for rank_str, value in g.get("last", {}).items():
+                rank = into_rank if into_rank is not None else int(rank_str)
+                gauge.last[rank] = value
+            if g.get("samples"):
+                gauge.min = min(gauge.min, g["min"])
+                gauge.max = max(gauge.max, g["max"])
+                gauge.samples += g["samples"]
+        for name, h in doc.get("histograms", {}).items():
+            edges = tuple(float(e) for e in h.get("edges", ()))
+            hist = self.histogram(name, edges=edges)
+            if hist.edges != edges:
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge mismatched edges "
+                    f"{edges!r} into {hist.edges!r}"
+                )
+            for i, c in enumerate(h.get("counts", ())):
+                hist.counts[i] += c
+            if h.get("count"):
+                hist.count += h["count"]
+                hist.sum += h["sum"]
+                hist.min = min(hist.min, h["min"])
+                hist.max = max(hist.max, h["max"])
+            for rank_str, rc in h.get("per_rank", {}).items():
+                rank = into_rank if into_rank is not None else int(rank_str)
+                hist._rank_count[rank] += rc["count"]
+                hist._rank_sum[rank] += rc["sum"]

@@ -1,0 +1,49 @@
+"""Atomic file I/O for persisted artifacts.
+
+Decision traces, benchmark records, and fleet trajectories are written
+by tools that may run concurrently (parallel fleet workers, an explore
+campaign racing a bench regeneration) and may be interrupted at any
+point (a worker SIGKILL mid-write, ctrl-C during a campaign).  A plain
+``Path.write_text`` truncates the destination before writing, so a
+reader — or a crash — can observe a torn file.
+
+:func:`atomic_write_text` writes to a uniquely named temporary file in
+the destination directory and publishes it with :func:`os.replace`,
+which is atomic on POSIX when source and destination share a
+filesystem.  Readers therefore see either the old complete document or
+the new complete document, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically write ``text`` to ``path``; returns the path written.
+
+    Creates parent directories as needed.  The temporary file lives in
+    the destination directory (same filesystem), so the final
+    ``os.replace`` is a single atomic rename.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Never leave the temp file behind, even on KeyboardInterrupt.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -44,6 +44,17 @@ class Series:
         self.xs.append(x)
         self.ys.append(y)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Series":
+        """Inverse of :meth:`to_dict` (fleet results cross process
+        boundaries in dict form)."""
+        return cls(
+            label=data["label"],
+            xs=list(data.get("xs", [])),
+            ys=list(data.get("ys", [])),
+            unit=data.get("unit", ""),
+        )
+
     def y_at(self, x: float) -> float:
         """Return the y value recorded at sweep point ``x``."""
         return self.ys[self.xs.index(x)]
@@ -83,3 +94,12 @@ class SweepResult:
             "series": [s.to_dict() for s in self.series],
             "notes": list(self.notes),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment=data["experiment"],
+            series=[Series.from_dict(s) for s in data.get("series", [])],
+            notes=list(data.get("notes", [])),
+        )

@@ -1,0 +1,166 @@
+"""Determinism regression: a sharded campaign equals the serial one.
+
+The acceptance bar from the fleet issue: for a fixed campaign
+(targets, strategy, seed, schedules), ``--jobs N`` must produce a
+byte-identical deduplicated failing-schedule set for any ``N`` — same
+digest, same merged failures, same persisted trace files.  These tests
+pin jobs=1 vs jobs=2 (and odd batch partitions) on a campaign with a
+non-empty failing set (the ``no_dirty_mark`` mutation on the steals
+scenario, which random-walk exploration reliably catches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.jobs import JobResult, explore_jobs
+from repro.fleet.results import failing_set_digest, merge_explore, persist_failures
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.seeds import derive_seed, derive_seeds
+
+TARGET = "steals"
+MUTATION = "no_dirty_mark"
+SCHEDULES = 60
+
+
+def run_campaign(nworkers, inline=True, batch=None, tmp_dir=None):
+    jobs = explore_jobs(
+        [TARGET], SCHEDULES, seed=0, mutation=MUTATION,
+        batch=batch, nworkers=nworkers,
+    )
+    report = FleetScheduler(nworkers, inline=inline).run(jobs)
+    assert report.ok
+    summary = merge_explore(report.completed)
+    if tmp_dir is not None:
+        persist_failures(summary, tmp_dir, mutation=MUTATION)
+    return summary
+
+
+class TestSeedDerivation:
+    def test_pinned_values(self):
+        """Derived seeds are part of the campaign contract: changing the
+        derivation silently changes every committed digest."""
+        assert derive_seed("queue", "random", 0, 0) == 3521436104167924406
+        assert derive_seed("steals", "random", 0, 5) == 4376423859564137318
+
+    def test_pure_function_of_coordinates(self):
+        a = derive_seeds("queue", "random", 7, range(20))
+        b = [derive_seed("queue", "random", 7, i) for i in range(20)]
+        assert a == b
+
+    def test_distinct_across_scenario_strategy_and_index(self):
+        seeds = {
+            derive_seed(sc, st, 0, i)
+            for sc in ("queue", "steals")
+            for st in ("random", "pct")
+            for i in range(50)
+        }
+        assert len(seeds) == 2 * 2 * 50
+
+    def test_base_seed_shifts_the_whole_stream(self):
+        assert derive_seeds("queue", "random", 0, range(5)) != derive_seeds(
+            "queue", "random", 1, range(5)
+        )
+
+
+class TestShardingEquality:
+    @pytest.fixture(scope="class")
+    def serial(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("serial")
+        return run_campaign(1, tmp_dir=d), d
+
+    def test_campaign_actually_fails(self, serial):
+        summary, _ = serial
+        assert summary.failures, (
+            "mutation campaign found no failures; the equality tests "
+            "below would be vacuous"
+        )
+        assert summary.schedules_run == SCHEDULES
+
+    def test_two_workers_same_digest_and_failures(self, serial, tmp_path):
+        base, base_dir = serial
+        sharded = run_campaign(2, tmp_dir=tmp_path)
+        assert failing_set_digest(sharded) == failing_set_digest(base)
+        assert sharded.failures == base.failures
+        assert sharded.per_target == base.per_target
+        # Persisted traces are byte-identical, file for file.
+        base_files = sorted(p.name for p in base_dir.iterdir())
+        new_files = sorted(p.name for p in tmp_path.iterdir())
+        assert new_files == base_files
+        for name in base_files:
+            assert (tmp_path / name).read_bytes() == (base_dir / name).read_bytes()
+
+    def test_odd_batch_partition_same_digest(self, serial):
+        base, _ = serial
+        # batch=7 does not divide 60: shards of uneven length, last short.
+        sharded = run_campaign(3, batch=7)
+        assert failing_set_digest(sharded) == failing_set_digest(base)
+        assert sharded.failures == base.failures
+
+    def test_process_pool_same_digest(self, serial, tmp_path):
+        """The real thing: two worker *processes*, results over pipes."""
+        base, base_dir = serial
+        sharded = run_campaign(2, inline=False, tmp_dir=tmp_path)
+        assert failing_set_digest(sharded) == failing_set_digest(base)
+        assert sharded.failures == base.failures
+        for p in base_dir.iterdir():
+            assert (tmp_path / p.name).read_bytes() == p.read_bytes()
+
+
+class TestMergeExplore:
+    def _result(self, key, target, failures, schedules=5, events=50):
+        return JobResult(
+            key=key, kind="explore", worker=0,
+            payload={
+                "target": target, "strategy": "random",
+                "schedules": schedules, "events": events,
+                "failures": failures, "metrics": {},
+            },
+        )
+
+    def _failure(self, index, signature, fingerprint):
+        return {
+            "index": index, "strategy_seed": 100 + index,
+            "signature": signature, "failure": f"invariant at {index}",
+            "decisions": [{"kind": "step", "rank": 0}],
+            "fingerprint": fingerprint,
+        }
+
+    def test_dedup_keeps_lowest_index_per_signature(self):
+        sig = ["lost_task", 1]
+        results = [
+            self._result("b", "queue", [self._failure(9, sig, "fp9")]),
+            self._result("a", "queue", [self._failure(2, sig, "fp2")]),
+        ]
+        summary = merge_explore(results)
+        assert len(summary.failures) == 1
+        assert summary.failures[0].index == 2
+        assert summary.all_failure_fingerprints == ["fp2", "fp9"]
+        assert summary.per_target["queue"]["failures"] == 1
+
+    def test_same_signature_different_targets_both_kept(self):
+        sig = ["lost_task", 1]
+        results = [
+            self._result("a", "queue", [self._failure(1, sig, "fpq")]),
+            self._result("b", "steals", [self._failure(1, sig, "fps")]),
+        ]
+        assert len(merge_explore(results).failures) == 2
+
+    def test_digest_independent_of_result_order(self):
+        results = [
+            self._result("a", "queue", [self._failure(3, ["x"], "fp3")]),
+            self._result("b", "queue", [self._failure(1, ["y"], "fp1")]),
+        ]
+        d1 = failing_set_digest(merge_explore(results))
+        d2 = failing_set_digest(merge_explore(list(reversed(results))))
+        assert d1 == d2
+
+    def test_errored_and_foreign_results_skipped(self):
+        results = [
+            self._result("a", "queue", []),
+            JobResult(key="bad", kind="explore", error="boom"),
+            JobResult(key="bench", kind="bench", payload={"experiment": "t"}),
+        ]
+        summary = merge_explore(results)
+        assert summary.schedules_run == 5
+        assert summary.ok

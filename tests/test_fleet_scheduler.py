@@ -1,0 +1,252 @@
+"""Unit and policy tests for the fleet meta-scheduler.
+
+Everything here runs on the :class:`~repro.fleet.pool.InlinePool` (or
+no pool at all), so the split-deque policy, neighbor-first stealing,
+and wave-based quiescence are exercised deterministically.  The
+process-boundary failure paths live in ``test_fleet_failures.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.jobs import Job, bench_jobs, execute_job, explore_jobs, mutation_jobs
+from repro.fleet.scheduler import FleetReport, FleetScheduler, QuiescenceDetector
+from repro.fleet.wsqueue import WorkerDeque, neighbor_order
+
+
+def probe_jobs(n, action="ok"):
+    return [
+        Job(kind="probe", key=f"probe/{i}", params={"action": action})
+        for i in range(n)
+    ]
+
+
+class TestNeighborOrder:
+    def test_ring_distance_increases_right_first(self):
+        # Thief 0 of 5: distance 1 right, 1 left, 2 right, 2 left.
+        assert neighbor_order(0, 5) == [1, 4, 2, 3]
+
+    def test_middle_worker(self):
+        assert neighbor_order(2, 5) == [3, 1, 4, 0]
+
+    def test_covers_everyone_once(self):
+        for n in (2, 3, 4, 7, 8):
+            for w in range(n):
+                order = neighbor_order(w, n)
+                assert sorted(order) == [x for x in range(n) if x != w]
+
+    def test_single_worker_has_no_victims(self):
+        assert neighbor_order(0, 1) == []
+
+
+class TestWorkerDeque:
+    def test_fifo_within_private(self):
+        d = WorkerDeque(0, release_threshold=4)
+        jobs = probe_jobs(3)
+        d.push_all(jobs)
+        assert [d.pop() for _ in range(3)] == jobs
+        assert d.pop() is None
+
+    def test_release_spills_surplus_to_shared(self):
+        d = WorkerDeque(0, release_threshold=2)
+        d.push_all(probe_jobs(5))
+        assert d.private_size() == 2
+        assert d.shared_size() == 3
+        assert d.release_ops == 1
+
+    def test_reacquire_reclaims_half_when_private_drains(self):
+        d = WorkerDeque(0, release_threshold=1)
+        d.push_all(probe_jobs(5))  # private=1, shared=4
+        d.pop()  # drains private
+        assert d.pop() is not None  # triggered reacquire of 2
+        assert d.reacquire_ops == 1
+        assert d.shared_size() == 2
+
+    def test_steal_half_takes_ceil_from_shared_tail(self):
+        d = WorkerDeque(0, release_threshold=1)
+        jobs = probe_jobs(6)
+        d.push_all(jobs)  # private=1, shared=5
+        chunk = d.steal_half()
+        assert len(chunk) == 3  # ceil(5/2)
+        assert chunk == jobs[3:]  # the tail: owner's last-reached jobs
+        assert d.steals_suffered == 1
+        assert d.jobs_stolen_away == 3
+
+    def test_steal_never_touches_private(self):
+        d = WorkerDeque(0, release_threshold=3)
+        d.push_all(probe_jobs(3))  # all private
+        assert d.steal_half() == []
+        assert d.size() == 3
+
+    def test_steal_empty_is_noop(self):
+        d = WorkerDeque(0)
+        assert d.steal_half() == []
+        assert d.steals_suffered == 0
+
+    def test_release_threshold_validated(self):
+        with pytest.raises(ValueError, match="release_threshold"):
+            WorkerDeque(0, release_threshold=0)
+
+
+class TestQuiescenceDetector:
+    def _empty_deques(self, n):
+        return [WorkerDeque(w) for w in range(n)]
+
+    def test_clean_fleet_quiesces_on_first_wave(self):
+        det = QuiescenceDetector(4)
+        assert det.wave(self._empty_deques(4), in_flight=0)
+        assert det.waves == 1
+
+    def test_dirty_worker_blackens_the_wave(self):
+        det = QuiescenceDetector(4)
+        det.mark_dirty(3)  # a leaf; its token must fold up to the root
+        assert not det.wave(self._empty_deques(4), in_flight=0)
+        # Voting cleared the dirty flag, so the next wave is white.
+        assert det.wave(self._empty_deques(4), in_flight=0)
+        assert det.waves == 2
+
+    def test_in_flight_work_blackens_the_wave(self):
+        det = QuiescenceDetector(2)
+        assert not det.wave(self._empty_deques(2), in_flight=1)
+
+    def test_nonempty_deque_blackens_the_wave(self):
+        det = QuiescenceDetector(2)
+        deques = self._empty_deques(2)
+        deques[1].push(probe_jobs(1)[0])
+        assert not det.wave(deques, in_flight=0)
+
+    def test_done_latches(self):
+        det = QuiescenceDetector(2)
+        assert det.wave(self._empty_deques(2), in_flight=0)
+        det.mark_dirty(0)
+        assert det.wave(self._empty_deques(2), in_flight=0)  # still done
+        assert det.waves == 1  # latched: no further waves run
+
+
+class TestJobBuilders:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            Job(kind="nonsense", key="x")
+
+    def test_explore_jobs_cover_all_indices_contiguously(self):
+        jobs = explore_jobs(["queue"], 10, batch=3)
+        indices = [i for j in jobs for i in j.params["indices"]]
+        assert indices == list(range(10))
+        assert [j.key for j in jobs] == [
+            "explore/queue/random/0-2",
+            "explore/queue/random/3-5",
+            "explore/queue/random/6-8",
+            "explore/queue/random/9-9",
+        ]
+
+    def test_explore_default_batch_targets_four_jobs_per_worker(self):
+        jobs = explore_jobs(["queue"], 80, nworkers=2)
+        assert len(jobs) == 8
+        assert all(len(j.params["indices"]) == 10 for j in jobs)
+
+    def test_bench_and_mutation_keys(self):
+        assert [j.key for j in bench_jobs(["table1"], "quick")] == ["bench/table1"]
+        jobs = mutation_jobs([("queue", "unlocked_split")], schedules=5)
+        assert jobs[0].key == "mutation/queue/unlocked_split"
+
+    def test_job_error_is_captured_not_raised(self):
+        res = execute_job(
+            Job(kind="probe", key="p", params={"action": "raise", "message": "boom"})
+        )
+        assert not res.ok
+        assert "boom" in res.error
+
+
+class TestInlineScheduler:
+    def test_empty_campaign_quiesces_in_one_wave(self):
+        report = FleetScheduler(3, inline=True).run([])
+        assert report.ok
+        assert report.completed == []
+        assert report.waves == 1
+        assert report.accounted() == 0
+
+    def test_all_jobs_complete_and_are_accounted(self):
+        report = FleetScheduler(3, inline=True).run(probe_jobs(10))
+        assert report.ok
+        assert len(report.completed) == 10
+        assert report.accounted() == report.jobs_total == 10
+        assert report.waves >= 1
+        assert report.metrics.counters.total("jobs_done") == 10
+
+    def test_more_workers_than_jobs(self):
+        report = FleetScheduler(6, inline=True).run(probe_jobs(2))
+        assert report.ok
+        assert len(report.completed) == 2
+
+    def test_duplicate_keys_rejected(self):
+        jobs = probe_jobs(2)
+        jobs[1].key = jobs[0].key
+        with pytest.raises(ValueError, match="unique"):
+            FleetScheduler(2, inline=True).run(jobs)
+
+    def test_job_level_error_flags_report_not_ok(self):
+        jobs = probe_jobs(3) + [
+            Job(kind="probe", key="probe/bad", params={"action": "raise"})
+        ]
+        report = FleetScheduler(2, inline=True).run(jobs)
+        assert not report.ok
+        assert len(report.failed_results) == 1
+        assert report.failed_results[0].key == "probe/bad"
+        # An erroring job is still *completed* — never dropped.
+        assert report.accounted() == 4
+
+    def test_nworkers_validated(self):
+        with pytest.raises(ValueError, match="nworkers"):
+            FleetScheduler(0)
+
+
+class TestStealPolicy:
+    """Drive FleetScheduler._acquire directly against hand-built deques."""
+
+    def _setup(self, nworkers):
+        sched = FleetScheduler(nworkers, inline=True)
+        deques = [WorkerDeque(w, release_threshold=1) for w in range(nworkers)]
+        det = QuiescenceDetector(nworkers)
+        report = FleetReport(nworkers=nworkers, jobs_total=0)
+        return sched, deques, det, report
+
+    def test_own_deque_preferred_over_stealing(self):
+        sched, deques, det, report = self._setup(2)
+        mine = probe_jobs(2)
+        deques[0].push_all(mine)
+        deques[1].push_all(probe_jobs(4))
+        job = sched._acquire(0, deques, det, report.metrics, report)
+        assert job is mine[0]
+        assert report.steals == 0
+
+    def test_steal_half_from_nearest_victim(self):
+        sched, deques, det, report = self._setup(3)
+        deques[1].push_all(probe_jobs(5))  # private=1, shared=4
+        job = sched._acquire(0, deques, det, report.metrics, report)
+        assert job is not None
+        assert report.steals == 1
+        assert report.jobs_stolen == 2  # ceil(4/2)
+        # The steal dirties both the victim and the thief.
+        assert det.dirty[1] and det.dirty[0]
+        # Stolen surplus (beyond the thief's own pop) stays with the thief.
+        assert deques[0].size() == 1
+
+    def test_neighbor_first_victim_order(self):
+        sched, deques, det, report = self._setup(4)
+        # Worker 1 (distance 1 from thief 0) and worker 2 (distance 2)
+        # both have stealable work; the nearer one must be hit.
+        far, near = probe_jobs(4), [
+            Job(kind="probe", key=f"near/{i}") for i in range(4)
+        ]
+        deques[2].push_all(far)
+        deques[1].push_all(near)
+        job = sched._acquire(0, deques, det, report.metrics, report)
+        assert job.key.startswith("near/")
+        assert deques[2].steals_suffered == 0
+
+    def test_no_victim_returns_none(self):
+        sched, deques, det, report = self._setup(3)
+        deques[1].push(probe_jobs(1)[0])  # private only: not stealable
+        assert sched._acquire(0, deques, det, report.metrics, report) is None
+        assert report.steals == 0

@@ -77,3 +77,48 @@ class TestBenchHarness:
         text = render(SweepResult(experiment="e", series=[a, b], notes=["n"]))
         assert "-" in text  # missing points rendered as dash
         assert "note: n" in text
+
+
+class TestAtomicWrite:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        from repro.util.io import atomic_write_text
+
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, "hello") == target
+        assert target.read_text() == "hello"
+
+    def test_creates_parent_directories(self, tmp_path):
+        from repro.util.io import atomic_write_text
+
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_overwrites_atomically_without_temp_leftovers(self, tmp_path):
+        from repro.util.io import atomic_write_text
+
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_destination_and_no_temp(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.util import io as uio
+
+        target = tmp_path / "out.txt"
+        uio.atomic_write_text(target, "original")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(uio.os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            uio.atomic_write_text(target, "partial")
+        monkeypatch.undo()
+        # The old document survives intact and the temp file is gone.
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+        assert _os.path.exists(target)
