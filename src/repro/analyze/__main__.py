@@ -5,14 +5,26 @@ Subcommands:
 * ``race`` — run check scenarios with the vector-clock race detector
   attached and report every conflicting, happens-before-unordered
   access pair.  Deterministic: one run per scenario suffices (see
-  ``docs/analyze.md``).  Exits 1 if any race was found.
+  ``docs/analyze.md``).  Reports are deduplicated by (site pair,
+  region class) with instance counts; ``--all`` lists every instance.
+  Exits 1 if any race was found.
+* ``predict`` — predictive concurrency analysis: capture one
+  default-schedule trace per scenario and report bugs feasible in
+  *other* interleavings (lockset, weakened happens-before, §5.3
+  steal/mark obligations, lock-order graph).  Each prediction is then
+  confirmed by steering a witness replay toward the reordering
+  (``--no-confirm`` skips that stage).  Exits 1 if anything was
+  predicted.
 * ``lint`` — run the RPR rule suite over source trees.  Exits 1 if
   any finding survives suppression comments.
 
 Examples::
 
     python -m repro.analyze race
-    python -m repro.analyze race --target queue --mutate unlocked_split
+    python -m repro.analyze race --target queue --mutate unlocked_split --all
+    python -m repro.analyze predict
+    python -m repro.analyze predict --target steals --mutate late_dirty_mark
+    python -m repro.analyze predict --jobs 4 --mutate lock_order_inversion
     python -m repro.analyze lint src/repro
     python -m repro.analyze lint --rule RPR002 src tests
 """
@@ -23,6 +35,7 @@ import argparse
 import sys
 
 from repro.analyze.lint import RULES, lint_paths
+from repro.analyze.race import dedupe_races
 from repro.analyze.runner import run_race_detection
 from repro.check.mutations import MUTATIONS
 from repro.check.scenarios import SCENARIOS
@@ -44,11 +57,63 @@ def _cmd_race(args: argparse.Namespace) -> int:
             + ")"
         )
         if res.racy:
-            for line in res.report.splitlines()[1:]:
-                print(line)
+            if args.all:
+                for line in res.report.splitlines()[1:]:
+                    print(line)
+            else:
+                groups = dedupe_races(res.races)
+                for i, g in enumerate(groups):
+                    print(f"  #{i + 1} {g.describe()}")
         total += len(res.races)
     print(f"\ntotal: {total} race(s) across {len(targets)} scenario(s)"
           + (f" [mutation: {mutation}]" if mutation else ""))
+    return 1 if total else 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analyze.predict import predict
+
+    targets = sorted(SCENARIOS) if args.target == "all" else [args.target]
+    mutation = None if args.mutate == "none" else args.mutate
+    confirm = not args.no_confirm
+    total = confirmed = 0
+    if args.jobs > 1:
+        from repro.fleet.jobs import predict_jobs
+        from repro.fleet.scheduler import FleetScheduler
+
+        jobs = predict_jobs(
+            targets, mutation=mutation, engine_seed=args.engine_seed,
+            confirm=confirm, out_dir=args.out,
+        )
+        fleet_report = FleetScheduler(nworkers=args.jobs).run(jobs)
+        for res in sorted(fleet_report.completed, key=lambda r: r.key):
+            if not res.ok:
+                print(f"{res.key}: job error: {res.error}")
+                total += 1  # a failed analysis is not a clean bill
+                continue
+            print(res.payload["text"])
+            print()
+            total += res.payload["predictions"]
+            confirmed += res.payload["confirmed"]
+        if not fleet_report.ok:
+            total += len(fleet_report.crashed)
+            for crashed in fleet_report.crashed:
+                print(f"{crashed.get('key', '?')}: worker crashed")
+    else:
+        for t in targets:
+            report = predict(
+                t, mutation=mutation, engine_seed=args.engine_seed,
+                confirm=confirm, out_dir=args.out,
+            )
+            print(report.describe())
+            print()
+            total += len(report.predictions)
+            confirmed += report.confirmed
+    print(
+        f"total: {total} prediction(s) ({confirmed} confirmed) across "
+        f"{len(targets)} scenario(s)"
+        + (f" [mutation: {mutation}]" if mutation else "")
+    )
     return 1 if total else 0
 
 
@@ -80,7 +145,46 @@ def main(argv: list[str] | None = None) -> int:
         help="apply an intentional protocol bug first",
     )
     p_race.add_argument("--engine-seed", type=int, default=0)
+    p_race.add_argument(
+        "--all",
+        action="store_true",
+        help="list every race instance instead of deduplicated groups",
+    )
     p_race.set_defaults(fn=_cmd_race)
+
+    p_pred = sub.add_parser(
+        "predict", help="predictive analysis with witness confirmation"
+    )
+    p_pred.add_argument(
+        "--target",
+        choices=["all", *sorted(SCENARIOS)],
+        default="all",
+        help="scenario to run (default: all)",
+    )
+    p_pred.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default="none",
+        help="apply an intentional protocol bug first",
+    )
+    p_pred.add_argument("--engine-seed", type=int, default=0)
+    p_pred.add_argument(
+        "--no-confirm",
+        action="store_true",
+        help="report predictions without witness-replay confirmation",
+    )
+    p_pred.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run scenarios in parallel worker processes (repro.fleet)",
+    )
+    p_pred.add_argument(
+        "--out",
+        default="scioto-check",
+        help="directory for confirmed witness traces (default: scioto-check)",
+    )
+    p_pred.set_defaults(fn=_cmd_predict)
 
     p_lint = sub.add_parser("lint", help="static RPR rule suite")
     p_lint.add_argument("paths", nargs="+", help="files or directories to lint")

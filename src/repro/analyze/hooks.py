@@ -26,6 +26,7 @@ __all__ = [
     "shared_atomic",
     "flag_write",
     "flag_read",
+    "protocol",
 ]
 
 _KEY = RaceDetector._KEY
@@ -76,3 +77,15 @@ def flag_read(proc: "Proc", region: Hashable) -> None:
     det = proc.engine.state.get(_KEY)
     if det is not None:
         det.flag_read(proc, region)
+
+
+def protocol(proc: "Proc", kind: str, **data) -> None:
+    """Record a runtime-protocol event (steal transfer, vote, wave).
+
+    Only visible to full-trace capture (``attach(engine,
+    capture=True)``); has no happens-before effect and costs a dict
+    probe when analysis is off.
+    """
+    det = proc.engine.state.get(_KEY)
+    if det is not None:
+        det.on_protocol(proc, kind, data)

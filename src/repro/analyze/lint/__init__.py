@@ -10,6 +10,7 @@ RPR002    wall-clock time or unseeded randomness in ``src/repro``
 RPR003    poll loop that never yields to the simulation engine
 RPR004    task body capturing process-local state instead of a CLO
 RPR005    flag-carrying put not preceded by a fence
+RPR006    inconsistent lock-acquisition order across the module
 ========  ==========================================================
 
 Suppression:

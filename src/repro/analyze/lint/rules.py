@@ -373,3 +373,69 @@ def rpr005(tree: ast.Module, source: str):
                     )
                 )
     return findings
+
+
+# --------------------------------------------------------------------- #
+# RPR006 — inconsistent lock-acquisition order
+# --------------------------------------------------------------------- #
+
+
+def _lock_receiver(call: ast.Call) -> str:
+    """Normalized name of the lock a ``.acquire()``/``.release()`` targets.
+
+    ``self.`` is stripped so the same field seen from two methods unifies;
+    distinct *variables* (``victim.lock`` vs ``own.lock``) stay distinct,
+    which is exactly the distinction a static order check can honour.
+    """
+    name = _dotted(call.func.value)
+    if name.startswith("self."):
+        name = name[len("self."):]
+    return name
+
+
+@register_rule("RPR006", "inconsistent lock-acquisition order")
+def rpr006(tree: ast.Module, source: str):
+    # Per-function summaries: simulate a held-locks stack over the calls
+    # of each scope in source order, recording `outer -> inner` whenever
+    # a lock is acquired while another is held.  A pair of distinct
+    # names seen nested in *both* orders anywhere in the module is a
+    # lock-order inversion: two ranks running those paths concurrently
+    # can each hold one lock and wait for the other.
+    edges: dict[tuple[str, str], int] = {}
+    for fn, _parent in _functions(tree):
+        calls = [
+            c
+            for c in _calls(_own_statements(fn))
+            if isinstance(c.func, ast.Attribute)
+            and c.func.attr in ("acquire", "release")
+        ]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        held: list[str] = []
+        for c in calls:
+            name = _lock_receiver(c)
+            if not name:
+                continue
+            if c.func.attr == "acquire":
+                for outer in held:
+                    if outer != name:
+                        edges.setdefault((outer, name), c.lineno)
+                held.append(name)
+            else:
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i] == name:
+                        del held[i]
+                        break
+    findings = []
+    for (a, b), line in sorted(edges.items(), key=lambda kv: kv[1]):
+        if a < b and (b, a) in edges:
+            other = edges[(b, a)]
+            findings.append(
+                (
+                    max(line, other),
+                    f"locks `{a}` and `{b}` are acquired in both nestings "
+                    f"(`{a}` then `{b}` at line {min(line, other)}, reversed "
+                    f"at line {max(line, other)}): inconsistent acquisition "
+                    "order can deadlock",
+                )
+            )
+    return findings

@@ -1,0 +1,116 @@
+"""Eraser-style lockset analysis over a captured trace.
+
+First, cheapest tier of the predictive analyzer (see
+:mod:`repro.analyze.predict`): for every shared region, intersect the
+locksets held across its accesses.  A region whose accesses come from
+more than one rank, include a writer, and share **no** common lock is a
+candidate race in *some* interleaving — no happens-before reasoning,
+and therefore no dependence on the schedule that happened to execute.
+
+Scope discipline (what keeps this tier quiet on clean runs):
+
+* Only **lock-disciplined** regions are judged — regions where at least
+  one access was made holding a lock (including the ``rmw[target]``
+  pseudo-lock the capture synthesizes for reservation atomics).  A
+  region never touched under any lock is protocol-synchronized by
+  construction here (flags, messages) and is left to the
+  happens-before tiers.
+* ``"a"``-class (target-serialized atomic) accesses never race with
+  each other and are excluded from the intersection; they still count
+  as conflicting accesses against plain reads/writes.
+
+The classic Eraser caveats apply and are documented in
+``docs/analyze.md``: no false negatives on lock-discipline violations,
+but accesses ordered by non-lock synchronization (fork/join, messages)
+can be reported — which is why findings feed the confirmation stage
+instead of being trusted outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.analyze.capture import TraceEvent
+from repro.analyze.race import region_class
+
+__all__ = ["LocksetFinding", "lockset_pass"]
+
+
+@dataclass(frozen=True)
+class LocksetFinding:
+    """A lock-disciplined region with an empty lockset intersection."""
+
+    region: Hashable
+    region_cls: tuple
+    #: Ranks that touched the region, sorted.
+    ranks: tuple[int, ...]
+    #: Call sites of the two exemplar conflicting accesses.
+    sites: tuple[str, str]
+    #: Locksets held at the two exemplar accesses.
+    locksets: tuple[tuple[str, ...], tuple[str, ...]]
+    #: Sequence numbers of the exemplar accesses in the trace.
+    seqs: tuple[int, int]
+
+    def describe(self) -> str:
+        def fmt(held: tuple[str, ...]) -> str:
+            return "{" + ", ".join(held) + "}" if held else "{} (no locks)"
+
+        return (
+            f"lockset violation on {self.region!r} (ranks {list(self.ranks)}): "
+            f"no common lock across accesses\n"
+            f"    {self.sites[0]} holding {fmt(self.locksets[0])}\n"
+            f"    {self.sites[1]} holding {fmt(self.locksets[1])}"
+        )
+
+
+def lockset_pass(events: list[TraceEvent]) -> list[LocksetFinding]:
+    """Intersect held locksets per region; report empty intersections."""
+    # region -> list of (rank, op, site, held, seq) for plain accesses
+    plain: dict[Hashable, list[tuple[int, str, str, tuple[str, ...], int]]] = {}
+    disciplined: set[Hashable] = set()
+    for ev in events:
+        if ev.kind != "access":
+            continue
+        op = ev.data["op"]
+        if op == "a":
+            continue
+        region = ev.data["region"]
+        plain.setdefault(region, []).append(
+            (ev.rank, op, ev.data["site"], ev.held, ev.seq)
+        )
+        if ev.held:
+            disciplined.add(region)
+
+    findings: list[LocksetFinding] = []
+    for region in sorted(disciplined, key=repr):
+        accesses = plain[region]
+        ranks = sorted({a[0] for a in accesses})
+        if len(ranks) < 2 or not any(a[1] != "r" for a in accesses):
+            continue
+        common = set(accesses[0][3])
+        for a in accesses[1:]:
+            common &= set(a[3])
+            if not common:
+                break
+        if common:
+            continue
+        # Exemplars: the first access with the then-smallest contribution
+        # to the intersection (typically the unlocked one) and the first
+        # conflicting access from a different rank.
+        bare = min(accesses, key=lambda a: (len(a[3]), a[4]))
+        other = next(
+            a for a in accesses if a[0] != bare[0] and (a[1] != "r" or bare[1] != "r")
+        )
+        first, second = sorted((bare, other), key=lambda a: a[4])
+        findings.append(
+            LocksetFinding(
+                region=region,
+                region_cls=region_class(region),
+                ranks=tuple(ranks),
+                sites=(first[2], second[2]),
+                locksets=(first[3], second[3]),
+                seqs=(first[4], second[4]),
+            )
+        )
+    return findings

@@ -1,0 +1,752 @@
+"""Predictive concurrency analysis: find bugs in *unexecuted* schedules.
+
+The observed-schedule detector (:mod:`repro.analyze.race`) answers "did
+this run race?".  This module answers the stronger question "could a
+*different* legal schedule of this run have raced, deadlocked, or
+broken the termination protocol?" — from a single benign trace, usually
+the default deterministic schedule.
+
+Four passes share one captured trace (:mod:`repro.analyze.capture`):
+
+1. **Lockset** (:mod:`repro.analyze.lockset`) — Eraser-style empty
+   lockset intersection over lock-disciplined regions.  Schedule
+   insensitive; may over-report accesses ordered by non-lock sync.
+2. **Weakened happens-before** (here) — recompute vector clocks keeping
+   only the ordering a scheduler cannot reverse (program order,
+   collectives, message delivery, target-serialized atomic chains) and
+   *dropping* reversible edges (lock release→acquire, flag-cell joins).
+   Conflicting accesses unordered under the weak relation with no
+   common lock are predicted races with a witness reordering.
+3. **Steal/mark obligation** (here) — every steal transfer must carry a
+   §5.3 mark decision from the thief's (unmutated) termination
+   detector; an unattested transfer in a trace with live wave activity
+   predicts the steal-after-vote family of termination bugs.  Release
+   flag stores that the weak relation leaves unordered before the
+   victim's next vote are folded in (the mark-delivery race).
+4. **Lock-order graph** (:mod:`repro.analyze.lockgraph`) — cycles in
+   nested-acquisition order, with gate-lock and single-rank pruning.
+
+Every prediction then goes through **confirmation**: it is compiled to
+a :class:`~repro.check.witness.WitnessStrategy` that steers a
+``repro.check`` replay toward the predicted reordering.  A confirming
+run either fails outright (invariant violation, protocol error,
+:class:`~repro.analyze.capture.PredictedDeadlockError`), re-observes
+the race under the standard detector, or exhibits the mark-after-vote
+window in its capture; the prediction is upgraded PREDICTED →
+CONFIRMED and the decision trace persisted for ``repro.check replay``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Sequence
+
+from repro.analyze.capture import TraceEvent
+from repro.analyze.lockgraph import deadlock_pass
+from repro.analyze.lockset import lockset_pass
+from repro.analyze.race import RaceDetector, region_class
+from repro.analyze.vectorclock import VectorClock
+
+__all__ = [
+    "Prediction",
+    "PredictReport",
+    "capture_trace",
+    "weakened_hb_pass",
+    "obligation_pass",
+    "analyze_trace",
+    "find_mark_window",
+    "confirm_prediction",
+    "predict",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Trace capture of one (target, mutation) run
+# ---------------------------------------------------------------------- #
+@dataclass
+class CaptureRun:
+    """One instrumented default-schedule run of a check scenario."""
+
+    target: str
+    mutation: str | None
+    engine_seed: int
+    nprocs: int
+    events: list[TraceEvent]
+    observed_races: int
+    error: str | None
+
+
+def capture_trace(
+    target: str, mutation: str | None = None, engine_seed: int = 0
+) -> CaptureRun:
+    """Run ``target`` on the default deterministic schedule with full
+    trace capture (and the observed-schedule detector) attached."""
+    import repro.core.task as task_mod
+    from repro.check.mutations import apply_mutation
+    from repro.check.scenarios import make_scenario
+    from repro.sim.engine import Engine
+    from repro.util.errors import ReproError, SimDeadlockError
+
+    scenario = make_scenario(target)
+    task_mod._uid_counter = itertools.count(1)
+    error: str | None = None
+    with apply_mutation(mutation):
+        engine = Engine(
+            scenario.nprocs, seed=engine_seed, max_events=scenario.max_events
+        )
+        det = RaceDetector.attach(engine, capture=True)
+        scenario.build(engine)
+        try:
+            engine.run()
+        except SimDeadlockError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        except (ReproError, RuntimeError, AssertionError) as exc:
+            error = f"{type(exc).__name__}: {exc}"
+    return CaptureRun(
+        target=target,
+        mutation=mutation,
+        engine_seed=engine_seed,
+        nprocs=scenario.nprocs,
+        events=det.capture.events if det.capture is not None else [],
+        observed_races=len(det.races),
+        error=error,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Weakened happens-before
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WeakHbFinding:
+    """Conflicting accesses unordered under the weakened relation."""
+
+    region: Hashable
+    region_cls: tuple
+    sites: tuple[str, str]
+    ranks: tuple[int, int]
+    seqs: tuple[int, int]
+
+    def describe(self) -> str:
+        return (
+            f"predicted race on {self.region!r}: rank {self.ranks[0]} at "
+            f"{self.sites[0]} and rank {self.ranks[1]} at {self.sites[1]} "
+            "are reorderable (no must-edge, no common lock)"
+        )
+
+
+def _weak_snapshots(
+    events: list[TraceEvent], nprocs: int
+) -> dict[int, Sequence[int]]:
+    """Per-rank clocks over must-edges only; snapshot at data/flag events.
+
+    Must-edges kept: program order, collectives, post→poll delivery of
+    the matched message, and rmw reservation chains per target (the
+    reservation order could change in another schedule, but each order
+    is a serialization — treating the executed one as fixed only ever
+    *hides* reorderings, it cannot invent them, so it is the
+    false-positive-safe choice).  Dropped: mutex release→acquire (the
+    scheduler may hand the lock over in either order; mutual exclusion
+    itself is handled by the common-lockset test) and flag-cell joins
+    (the §5.3 analyses reason about those explicitly).
+    """
+    vc = [VectorClock(nprocs) for _ in range(nprocs)]
+    for r in range(nprocs):
+        vc[r].tick(r)
+    fifo: dict[tuple[int, str], list[VectorClock]] = {}
+    rmw_cells: dict[int, VectorClock] = {}
+    pending_coll: dict[tuple[int, ...], list[int]] = {}
+    # Snapshots are consumed by integer indexing only, so they stay in
+    # the clock's native array representation: one memcpy per snapshot
+    # instead of boxing every component into a tuple.
+    snaps: dict[int, Sequence[int]] = {}
+    for ev in events:
+        r = ev.rank
+        kind = ev.kind
+        if kind == "access" or kind == "flag-write" or kind == "flag-read":
+            vc[r].tick(r)
+            snaps[ev.seq] = vc[r].snapshot()
+        elif kind == "collective":
+            ranks = ev.data["ranks"]
+            group = pending_coll.setdefault(ranks, [])
+            group.append(r)
+            if len(group) == len(ranks):
+                joined = VectorClock(nprocs)
+                for p in ranks:
+                    joined.join(vc[p])
+                for p in ranks:
+                    vc[p].join(joined)
+                    vc[p].tick(p)
+                del pending_coll[ranks]
+        elif kind == "post":
+            key = (ev.data["target"], ev.data["tag"])
+            fifo.setdefault(key, []).append(vc[r].copy())
+            vc[r].tick(r)
+        elif kind == "poll":
+            box = fifo.get((r, ev.data["tag"]))
+            if box:
+                vc[r].join(box.pop(0))
+            vc[r].tick(r)
+        elif kind == "rmw":
+            cell = rmw_cells.get(ev.data["target"])
+            if cell is not None:
+                vc[r].join(cell)
+            vc[r].tick(r)
+        elif kind == "rmw-done":
+            rmw_cells[ev.data["target"]] = vc[r].copy()
+            vc[r].tick(r)
+    return snaps
+
+
+def weakened_hb_pass(
+    events: list[TraceEvent], nprocs: int
+) -> list[WeakHbFinding]:
+    """Predicted races: weak-unordered conflicts with no common lock."""
+    snaps = _weak_snapshots(events, nprocs)
+    # region -> rank -> last (op, site, held, snap, seq) per access class
+    reads: dict[Hashable, dict[int, tuple]] = {}
+    writes: dict[Hashable, dict[int, tuple]] = {}
+    atomics: dict[Hashable, dict[int, tuple]] = {}
+    findings: list[WeakHbFinding] = []
+    dedup: set[tuple] = set()
+
+    def conflict(prior: tuple, cur: tuple, region: Hashable) -> None:
+        p_op, p_site, p_held, p_snap, p_seq, p_rank = prior
+        c_op, c_site, c_held, c_snap, c_seq, c_rank = cur
+        if p_snap[p_rank] <= c_snap[p_rank]:  # weak-ordered (epoch test)
+            return
+        if set(p_held) & set(c_held):  # mutually excluded
+            return
+        key = (region_class(region), tuple(sorted((p_site, c_site))))
+        if key in dedup:
+            return
+        dedup.add(key)
+        findings.append(
+            WeakHbFinding(
+                region=region,
+                region_cls=key[0],
+                sites=(p_site, c_site),
+                ranks=(p_rank, c_rank),
+                seqs=(p_seq, c_seq),
+            )
+        )
+
+    for ev in events:
+        if ev.kind != "access":
+            continue
+        region = ev.data["region"]
+        op = ev.data["op"]
+        cur = (op, ev.data["site"], ev.held, snaps[ev.seq], ev.seq, ev.rank)
+        r_tab = reads.setdefault(region, {})
+        w_tab = writes.setdefault(region, {})
+        a_tab = atomics.setdefault(region, {})
+        if op == "a":
+            against = (r_tab, w_tab)
+        elif op == "r":
+            against = (w_tab, a_tab)
+        else:
+            against = (r_tab, w_tab, a_tab)
+        for table in against:
+            for rank, prior in table.items():
+                if rank != ev.rank:
+                    conflict(prior, cur, region)
+        if op == "a":
+            a_tab[ev.rank] = cur
+        else:
+            if op != "r":
+                w_tab[ev.rank] = cur
+            if op in ("r", "rw"):
+                r_tab[ev.rank] = cur
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# Steal/mark obligation (§5.3 family)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ObligationFinding:
+    """Steal transfers with no mark decision from the thief's detector."""
+
+    thief: int
+    victim: int
+    count: int
+    first_seq: int
+    #: "unattested" (no mark decision at all) or "unordered-mark" (a
+    #: release mark was sent but nothing orders it before the victim's
+    #: next vote).
+    mode: str
+
+    def describe(self) -> str:
+        if self.mode == "unattested":
+            return (
+                f"steal-after-vote hazard: {self.count} transfer(s) rank "
+                f"{self.thief} <- rank {self.victim} carry no §5.3 mark "
+                "decision; a schedule where the thief votes white first "
+                "terminates early with the stolen work in flight"
+            )
+        return (
+            f"mark-delivery hazard: dirty mark rank {self.thief} -> rank "
+            f"{self.victim} is not ordered before the victim's next vote "
+            f"({self.count} instance(s))"
+        )
+
+
+def obligation_pass(events: list[TraceEvent]) -> list[ObligationFinding]:
+    """Match transfers against mark decisions; flag the unattested."""
+    if not any(
+        e.kind == "protocol" and e.data.get("what") == "wave-start"
+        for e in events
+    ):
+        return []  # no termination protocol in play, no obligation
+    decisions: dict[tuple[int, int], list[int]] = {}
+    used: dict[tuple[int, int], int] = {}
+    unattested: dict[tuple[int, int], list[int]] = {}
+    for ev in events:
+        if ev.kind != "protocol":
+            continue
+        what = ev.data.get("what")
+        if what == "mark-decision":
+            decisions.setdefault((ev.rank, ev.data["victim"]), []).append(ev.seq)
+        elif what == "steal-transfer":
+            key = (ev.rank, ev.data["victim"])
+            avail = decisions.get(key, [])
+            i = used.get(key, 0)
+            # the decision is emitted just before its transfer in program
+            # order; consume the next unconsumed decision preceding us
+            if i < len(avail) and avail[i] < ev.seq:
+                used[key] = i + 1
+            else:
+                unattested.setdefault(key, []).append(ev.seq)
+    findings = [
+        ObligationFinding(
+            thief=t, victim=v, count=len(seqs), first_seq=seqs[0],
+            mode="unattested",
+        )
+        for (t, v), seqs in sorted(unattested.items())
+    ]
+    # Release-mode marks (a message-based §5.3 protocol): the weak
+    # relation has no edge from the mark's landing to the victim's next
+    # vote, so a vote can precede it in another schedule.
+    snaps: dict[int, Sequence[int]] | None = None
+    nprocs = 1 + max((e.rank for e in events), default=0)
+    late: dict[tuple[int, int], list[int]] = {}
+    for ev in events:
+        if ev.kind != "flag-write" or not ev.data.get("release"):
+            continue
+        target = ev.data.get("target")
+        if target is None or target == ev.rank:
+            continue
+        if snaps is None:
+            snaps = _weak_snapshots(events, nprocs)
+        vote = next(
+            (
+                e
+                for e in events[ev.seq + 1 :]
+                if e.kind == "flag-read"
+                and e.rank == target
+                and e.data["region"] == ev.data["region"]
+            ),
+            None,
+        )
+        if vote is None or snaps[ev.seq][ev.rank] > snaps[vote.seq][ev.rank]:
+            late.setdefault((ev.rank, target), []).append(ev.seq)
+    findings.extend(
+        ObligationFinding(
+            thief=t, victim=v, count=len(seqs), first_seq=seqs[0],
+            mode="unordered-mark",
+        )
+        for (t, v), seqs in sorted(late.items())
+        if (t, v) not in unattested
+    )
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# The mark-after-vote window (confirmation oracle)
+# ---------------------------------------------------------------------- #
+def find_mark_window(events: list[TraceEvent]) -> dict | None:
+    """Did an executed schedule exhibit the §5.3 ordering violation?
+
+    Looks for a steal transfer by a thief that had already voted in its
+    current wave, where the victim casts a WHITE vote before the dirty
+    mark lands (or no mark lands at all) — i.e. the victim's detector
+    declared innocence while stolen work was in flight.  A black vote
+    in between self-heals (the victim was dirty for its own reasons),
+    so the oracle anchors on the first white vote after the transfer.
+    The legitimate votes-before elision (victim a spanning-tree
+    descendant of the thief) is exempt.  Returns a summary dict, or
+    None.
+    """
+    from repro.core.termination import is_descendant
+
+    last_vote: dict[int, int] = {}
+    last_down: dict[int, int] = {}
+    transfers: list[tuple[int, int, int]] = []  # (seq, thief, victim)
+    votes: list[tuple[int, int, int]] = []  # (seq, rank, color)
+    marks: list[tuple[int, int, int]] = []  # (seq, writer, victim)
+    for ev in events:
+        if ev.kind == "protocol":
+            what = ev.data.get("what")
+            if what == "vote":
+                votes.append((ev.seq, ev.rank, ev.data["color"]))
+                last_vote[ev.rank] = ev.seq
+            elif what == "wave-down":
+                last_down[ev.rank] = ev.seq
+            elif what == "steal-transfer":
+                voted = last_vote.get(ev.rank, -1) > last_down.get(ev.rank, -1)
+                if voted:
+                    transfers.append((ev.seq, ev.rank, ev.data["victim"]))
+        elif ev.kind == "flag-write":
+            target = ev.data.get("target")
+            if target is not None and target != ev.rank:
+                marks.append((ev.seq, ev.rank, target))
+    for seq, thief, victim in transfers:
+        if is_descendant(victim, thief):
+            continue
+        vote = next(
+            (v for v in votes if v[1] == victim and v[0] > seq and v[2] == 0),
+            None,
+        )
+        if vote is None:
+            continue
+        mark = next(
+            (m for m in marks if m[1] == thief and m[2] == victim and m[0] > seq),
+            None,
+        )
+        if mark is None or mark[0] > vote[0]:
+            return {
+                "thief": thief,
+                "victim": victim,
+                "transfer_seq": seq,
+                "vote_seq": vote[0],
+                "vote_color": vote[2],
+                "mark_seq": mark[0] if mark else None,
+            }
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Predictions
+# ---------------------------------------------------------------------- #
+@dataclass
+class Prediction:
+    """One predicted concurrency bug, possibly upgraded by confirmation."""
+
+    kind: str  # "data-race" | "steal-after-vote" | "deadlock"
+    tiers: list[str]
+    title: str
+    detail: str
+    data: dict = field(default_factory=dict)
+    status: str = "PREDICTED"
+    confirmed_how: str | None = None
+    trace_path: str | None = None
+    replay_ok: bool | None = None
+
+    def describe(self) -> str:
+        head = f"[{self.status}] {self.kind} ({'+'.join(self.tiers)}): {self.title}"
+        if self.confirmed_how:
+            head += f"\n    confirmed via {self.confirmed_how}"
+            if self.trace_path:
+                head += f"\n    witness trace: {self.trace_path}"
+            if self.replay_ok is not None:
+                head += f" (replay {'ok' if self.replay_ok else 'DIVERGED'})"
+        return head + "\n    " + self.detail.replace("\n", "\n    ")
+
+
+def analyze_trace(events: list[TraceEvent], nprocs: int) -> list[Prediction]:
+    """Run all predictive passes over one captured trace."""
+    predictions: list[Prediction] = []
+
+    race_by_key: dict[tuple, Prediction] = {}
+    for f in lockset_pass(events):
+        key = (f.region_cls, tuple(sorted(f.sites)))
+        p = Prediction(
+            kind="data-race",
+            tiers=["lockset"],
+            title=f"unlocked conflicting access on {f.region_cls}",
+            detail=f.describe(),
+            data={"region_cls": list(f.region_cls), "sites": list(f.sites)},
+        )
+        race_by_key[key] = p
+        predictions.append(p)
+    for f in weakened_hb_pass(events, nprocs):
+        key = (f.region_cls, tuple(sorted(f.sites)))
+        if key in race_by_key:
+            race_by_key[key].tiers.append("weak-hb")
+            continue
+        predictions.append(
+            Prediction(
+                kind="data-race",
+                tiers=["weak-hb"],
+                title=f"reorderable conflicting access on {f.region_cls}",
+                detail=f.describe(),
+                data={"region_cls": list(f.region_cls), "sites": list(f.sites)},
+            )
+        )
+
+    obligations = obligation_pass(events)
+    if obligations:
+        pairs = sorted({(f.thief, f.victim) for f in obligations})
+        predictions.append(
+            Prediction(
+                kind="steal-after-vote",
+                tiers=["obligation"],
+                title="§5.3 dirty-mark discipline violated on steal path",
+                detail="\n".join(f.describe() for f in obligations),
+                data={"pairs": [list(p) for p in pairs]},
+            )
+        )
+
+    for f in deadlock_pass(events):
+        predictions.append(
+            Prediction(
+                kind="deadlock",
+                tiers=["lock-graph"],
+                title=f"lock-order cycle {' -> '.join(f.cycle)}",
+                detail=f.describe(),
+                data={"cycle": list(f.cycle)},
+            )
+        )
+    return predictions
+
+
+# ---------------------------------------------------------------------- #
+# Confirmation
+# ---------------------------------------------------------------------- #
+class _NoGates:
+    """Controller that never defers: the engine-default schedule,
+    recorded pick-by-pick so it can be persisted and replayed."""
+
+    def start(self, strategy) -> None:
+        pass
+
+    def on_event(self, ev, strategy) -> None:
+        pass
+
+
+def _witness_run(scenario, controller, engine_seed, mutation):
+    """One monitored run under a witness controller; returns
+    (outcome, detector)."""
+    from repro.check.runner import run_once
+    from repro.check.witness import WitnessStrategy
+
+    holder = {}
+
+    def hook(engine):
+        det = RaceDetector.attach(engine, capture=True)
+        det.capture.listeners.append(strategy.on_event)
+        holder["det"] = det
+
+    strategy = WitnessStrategy(controller)
+    outcome = run_once(
+        scenario, strategy, engine_seed=engine_seed, mutation=mutation,
+        engine_hook=hook,
+    )
+    return outcome, holder["det"]
+
+
+def _replay_run(scenario, decisions, engine_seed, mutation):
+    """Replay a recorded decision list with the monitor re-attached."""
+    from repro.check.runner import run_once
+    from repro.check.strategies import ReplayStrategy
+
+    holder = {}
+
+    def hook(engine):
+        holder["det"] = RaceDetector.attach(engine, capture=True)
+
+    outcome = run_once(
+        scenario, ReplayStrategy(decisions), engine_seed=engine_seed,
+        mutation=mutation, engine_hook=hook,
+    )
+    return outcome, holder["det"]
+
+
+def _persist_witness(
+    pred, target, mutation, engine_seed, scenario, outcome, out_dir, ordinal=0
+) -> None:
+    from repro.check.traces import DecisionTrace
+
+    if out_dir is None:
+        return
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace = DecisionTrace(
+        target=target,
+        strategy="witness",
+        strategy_seed=0,
+        engine_seed=engine_seed,
+        nprocs=scenario.nprocs,
+        schedule_index=0,
+        failure=outcome.describe(),
+        mutation=mutation if mutation else "none",
+        signature=outcome.signature_json,
+        decisions=list(outcome.decisions),
+    )
+    stem = f"predict-{target}-{trace.mutation}-{pred.kind}-{ordinal}"
+    pred.trace_path = str(trace.save(out_dir / f"{stem}.trace.json"))
+
+
+def confirm_prediction(
+    pred: Prediction,
+    target: str,
+    mutation: str | None = None,
+    engine_seed: int = 0,
+    out_dir: str | Path | None = None,
+    ordinal: int = 0,
+) -> Prediction:
+    """Steer replays toward ``pred``'s reordering; upgrade on success."""
+    from repro.check.scenarios import make_scenario
+    from repro.check.witness import DeadlockWitness, DirtyMarkWitness
+
+    scenario = make_scenario(target)
+
+    def upgraded(outcome, how: str, window_check: bool) -> bool:
+        """Persist + replay-verify a successful witness run."""
+        pred.status = "CONFIRMED"
+        pred.confirmed_how = how
+        _persist_witness(
+            pred, target, mutation, engine_seed, scenario, outcome, out_dir,
+            ordinal=ordinal,
+        )
+        re_out, re_det = _replay_run(
+            scenario, list(outcome.decisions), engine_seed, mutation
+        )
+        if window_check:
+            pred.replay_ok = (
+                find_mark_window(re_det.capture.events) is not None
+            )
+        else:
+            pred.replay_ok = re_out.signature == outcome.signature
+        return True
+
+    if pred.kind == "data-race":
+        outcome, det = _witness_run(scenario, _NoGates(), engine_seed, mutation)
+        cls = tuple(pred.data.get("region_cls", []))
+        hit = any(region_class(r.region) == cls for r in det.races)
+        if hit:
+            return pred if not upgraded(outcome, "observed-race-replay", False) else pred
+        return pred
+
+    if pred.kind == "steal-after-vote":
+        # The predicted (thief, victim) castings first, then every other
+        # non-root pairing: the discipline violation is global (the mark
+        # path is gone for *all* steals), so any casting that opens the
+        # window confirms it.  Root-involved castings are skipped — the
+        # root has no vote for the witness to race against.
+        variants: list[tuple[int, int]] = []
+        for t, v in [tuple(p) for p in pred.data.get("pairs", [])]:
+            if t != 0 and v != 0 and (t, v) not in variants:
+                variants.append((t, v))
+        for t in range(1, scenario.nprocs):
+            for v in range(1, scenario.nprocs):
+                if v != t and (t, v) not in variants:
+                    variants.append((t, v))
+        for t, v in variants[:6]:
+            outcome, det = _witness_run(
+                scenario, DirtyMarkWitness(t, v), engine_seed, mutation
+            )
+            if outcome.failed:
+                upgraded(outcome, f"witness-replay-failure:{outcome.describe()}", False)
+                return pred
+            window = find_mark_window(det.capture.events)
+            if window is not None:
+                upgraded(
+                    outcome,
+                    "mark-after-vote-window (transfer seq "
+                    f"{window['transfer_seq']} -> victim vote seq "
+                    f"{window['vote_seq']} -> mark seq {window['mark_seq']})",
+                    True,
+                )
+                return pred
+        return pred
+
+    if pred.kind == "deadlock":
+        outcome, _det = _witness_run(
+            scenario, DeadlockWitness(), engine_seed, mutation
+        )
+        if outcome.error is not None and outcome.error.startswith(
+            "PredictedDeadlockError"
+        ):
+            upgraded(outcome, "deadlock-cycle-closed", False)
+        return pred
+
+    return pred  # pragma: no cover - exhaustive over kinds
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+@dataclass
+class PredictReport:
+    """Everything one ``repro.analyze predict`` invocation learned."""
+
+    target: str
+    mutation: str | None
+    engine_seed: int
+    events_captured: int
+    base_error: str | None
+    predictions: list[Prediction]
+
+    @property
+    def confirmed(self) -> int:
+        return sum(1 for p in self.predictions if p.status == "CONFIRMED")
+
+    def describe(self) -> str:
+        mut = self.mutation or "none"
+        head = (
+            f"predict {self.target} (mutation {mut}): "
+            f"{self.events_captured} events captured"
+        )
+        if self.base_error:
+            head += f"; base run failed: {self.base_error}"
+        if not self.predictions:
+            return head + "\n  no predictions — trace is schedule-robust"
+        lines = [
+            head,
+            f"  {len(self.predictions)} prediction(s), {self.confirmed} confirmed:",
+        ]
+        for p in self.predictions:
+            lines.append("  " + p.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def predict(
+    target: str,
+    mutation: str | None = None,
+    engine_seed: int = 0,
+    confirm: bool = True,
+    out_dir: str | Path | None = None,
+) -> PredictReport:
+    """Capture one default-schedule trace, analyze it, confirm findings."""
+    run = capture_trace(target, mutation=mutation, engine_seed=engine_seed)
+    predictions = analyze_trace(run.events, run.nprocs)
+    if run.error is not None and run.error.startswith("PredictedDeadlockError"):
+        # The wait-for monitor caught a cycle closing at request time —
+        # the base run never actually wedged, so this is a prediction
+        # too (of the hang the unmonitored run would have become), and
+        # it preempts the lock-order graph seeing the nested acquires.
+        if not any(p.kind == "deadlock" for p in predictions):
+            predictions.append(
+                Prediction(
+                    kind="deadlock",
+                    tiers=["wait-for"],
+                    title="lock-acquisition cycle closed under monitoring",
+                    detail=run.error,
+                )
+            )
+    if confirm:
+        for i, p in enumerate(predictions):
+            confirm_prediction(
+                p, target, mutation=mutation, engine_seed=engine_seed,
+                out_dir=out_dir, ordinal=i,
+            )
+    return PredictReport(
+        target=target,
+        mutation=mutation,
+        engine_seed=engine_seed,
+        events_captured=len(run.events),
+        base_error=run.error,
+        predictions=predictions,
+    )

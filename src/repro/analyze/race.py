@@ -44,12 +44,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable
 
+from repro.analyze.capture import TraceCapture
 from repro.analyze.vectorclock import VectorClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine, Proc
 
-__all__ = ["Access", "Race", "RaceDetector"]
+__all__ = ["Access", "Race", "RaceDetector", "RaceGroup", "dedupe_races", "region_class"]
 
 #: Hook-call frames skipped when attributing an access to a call site.
 _SITE_SKIP = (
@@ -140,8 +141,13 @@ class RaceDetector:
 
     _KEY = "race-detector"
 
-    def __init__(self, engine: "Engine") -> None:
+    def __init__(self, engine: "Engine", capture: bool = False) -> None:
         self.engine = engine
+        #: Full-trace event capture for the predictive passes
+        #: (:mod:`repro.analyze.predict`); None keeps the detector lean.
+        self.capture: TraceCapture | None = (
+            TraceCapture(engine) if capture else None
+        )
         n = engine.nprocs
         self.vc = [VectorClock(n) for _ in range(n)]
         for rank in range(n):
@@ -162,12 +168,19 @@ class RaceDetector:
     # Lifecycle
     # ------------------------------------------------------------------ #
     @classmethod
-    def attach(cls, engine: "Engine") -> "RaceDetector":
-        """Enable race detection on ``engine`` (idempotent)."""
+    def attach(cls, engine: "Engine", capture: bool = False) -> "RaceDetector":
+        """Enable race detection on ``engine`` (idempotent).
+
+        ``capture=True`` additionally records the full event trace
+        (see :class:`~repro.analyze.capture.TraceCapture`); asking for
+        capture on an already-attached detector upgrades it in place.
+        """
         inst = engine.state.get(cls._KEY)
         if inst is None:
-            inst = cls(engine)
+            inst = cls(engine, capture=capture)
             engine.state[cls._KEY] = inst
+        elif capture and inst.capture is None:
+            inst.capture = TraceCapture(engine)
         return inst
 
     @classmethod
@@ -178,18 +191,31 @@ class RaceDetector:
     # ------------------------------------------------------------------ #
     # Synchronization edges
     # ------------------------------------------------------------------ #
+    def on_mutex_request(self, proc: "Proc", mutex: Any) -> None:
+        """A mutex was requested (pre-grant).
+
+        No happens-before effect; feeds the capture's wait-for graph so
+        a monitored run can fail fast on a closing lock cycle.
+        """
+        if self.capture is not None:
+            self.capture.on_request(proc, mutex)
+
     def on_mutex_acquire(self, proc: "Proc", mutex: Any) -> None:
         """Join the mutex's release clock into the new holder (acquire)."""
         clock = self._mutex_clocks.get(id(mutex))
         if clock is not None:
             self.vc[proc.rank].join(clock)
         self.vc[proc.rank].tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_acquire(proc, mutex)
 
     def on_mutex_release(self, proc: "Proc", mutex: Any) -> None:
         """Publish the releaser's clock on the mutex (release)."""
         vc = self.vc[proc.rank]
         self._mutex_clocks[id(mutex)] = vc.copy()
         vc.tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_release(proc, mutex)
 
     def on_collective(self, procs: list["Proc"]) -> None:
         """Barrier/allreduce completion: all participants join everyone.
@@ -204,6 +230,8 @@ class RaceDetector:
             self.vc[p.rank].join(joined)
             self.vc[p.rank].tick(p.rank)
             self.on_fence(p, None)
+        if self.capture is not None:
+            self.capture.on_collective(procs)
 
     def on_post(self, proc: "Proc", target: int, tag: str) -> None:
         """A one-sided message deposit carries the sender's clock."""
@@ -213,6 +241,8 @@ class RaceDetector:
             box = self._messages[key] = deque()
         box.append(self.vc[proc.rank].copy())
         self.vc[proc.rank].tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_post(proc, target, tag)
 
     def on_poll(self, proc: "Proc", tag: str) -> None:
         """Receiving a message joins the sender's clock (acquire)."""
@@ -220,6 +250,8 @@ class RaceDetector:
         if box:
             self.vc[proc.rank].join(box.popleft())
             self.vc[proc.rank].tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_poll(proc, tag)
 
     def on_rmw(self, proc: "Proc", target: int) -> None:
         """Acquire side of a remote atomic: rmw requests serialize at the
@@ -229,6 +261,8 @@ class RaceDetector:
         if cell is not None:
             self.vc[proc.rank].join(cell)
         self.vc[proc.rank].tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_rmw(proc, target)
 
     def on_rmw_done(self, proc: "Proc", target: int) -> None:
         """Release side of a remote atomic: publish the initiator's clock
@@ -237,11 +271,15 @@ class RaceDetector:
         vc = self.vc[proc.rank]
         self._rmw_cells[target] = vc.copy()
         vc.tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_rmw_done(proc, target)
 
     def on_put(self, proc: "Proc", target: int) -> None:
         """Track an unfenced one-sided write for the §5.3 fence discipline."""
         if target == proc.rank:
             return
+        if self.capture is not None:
+            self.capture.on_put(proc, target)
         key = (proc.rank, target)
         ops = self._pending.get(key)
         if ops is None:
@@ -259,6 +297,8 @@ class RaceDetector:
 
     def on_fence(self, proc: "Proc", target: int | None) -> None:
         """A fence completes this rank's one-sided ops (to ``target`` or all)."""
+        if self.capture is not None:
+            self.capture.on_fence(proc, target)
         if target is not None:
             self._pending.pop((proc.rank, target), None)
             return
@@ -291,6 +331,8 @@ class RaceDetector:
             vc=tuple(vc.c),
         )
         self.accesses += 1
+        if self.capture is not None:
+            self.capture.on_access(proc, region, op, access.site)
         entry = self._regions.get(region)
         if entry is None:
             entry = self._regions[region] = _Region()
@@ -352,12 +394,25 @@ class RaceDetector:
             cell = self._flag_cells[region] = VectorClock(self.engine.nprocs)
         cell.join(vc)
         vc.tick(proc.rank)
+        if self.capture is not None:
+            self.capture.on_flag_write(proc, region, target, release)
 
     def flag_read(self, proc: "Proc", region: Hashable) -> None:
         """A load of a flag joins the stored clocks (acquire)."""
         cell = self._flag_cells.get(region)
         if cell is not None:
             self.vc[proc.rank].join(cell)
+        if self.capture is not None:
+            self.capture.on_flag_read(proc, region)
+
+    def on_protocol(self, proc: "Proc", kind: str, data: dict) -> None:
+        """A runtime-layer protocol event (steal transfer, vote, wave...).
+
+        No happens-before effect; captured verbatim for the predictive
+        passes and for witness-strategy gates.
+        """
+        if self.capture is not None:
+            self.capture.on_protocol(proc, kind, data)
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -381,3 +436,67 @@ class RaceDetector:
         for i, race in enumerate(self.races):
             lines.append(f"  #{i + 1} {race.describe()}")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Report deduplication
+# ---------------------------------------------------------------------- #
+def region_class(region: Hashable) -> tuple:
+    """Collapse a region instance to its defect class.
+
+    Region tuples carry instance coordinates (queue owner rank, flag
+    owner rank, ...) as integers; one racy code path shows up once per
+    instance.  Dropping the integer components groups those instances:
+    ``("queue", "chk", 0)`` and ``("queue", "chk", 2)`` are the same
+    defect at different owners.  Integer tuples (GA block origins) are
+    instance coordinates too.
+    """
+
+    def coordinate(x) -> bool:
+        return isinstance(x, int) or (
+            isinstance(x, tuple) and all(isinstance(y, int) for y in x)
+        )
+
+    if isinstance(region, tuple):
+        return tuple(x for x in region if not coordinate(x))
+    return (region,)
+
+
+@dataclass(frozen=True)
+class RaceGroup:
+    """All race instances sharing one (kind, region class, site pair)."""
+
+    kind: str
+    region_cls: tuple
+    sites: tuple[str, str]
+    count: int
+    exemplar: Race
+
+    def describe(self) -> str:
+        suffix = f"  [x{self.count} instance(s)]" if self.count > 1 else ""
+        return f"{self.exemplar.describe()}{suffix}"
+
+
+def dedupe_races(races: list[Race]) -> list[RaceGroup]:
+    """Group race reports by (site pair, region class) with counts.
+
+    The site pair is order-insensitive so A-then-B and B-then-A
+    observations of the same unordered pair collapse.  The first
+    instance seen is kept as the exemplar; groups preserve first-seen
+    order.
+    """
+    groups: dict[tuple, list[Race]] = {}
+    for race in races:
+        sites = tuple(sorted((race.first.site, race.second.site)))
+        key = (race.kind, region_class(race.region), sites)
+        groups.setdefault(key, []).append(race)
+    return [
+        RaceGroup(
+            kind=key[0],
+            region_cls=key[1],
+            sites=key[2],
+            count=len(members),
+            exemplar=members[0],
+        )
+        for key, members in groups.items()
+    ]

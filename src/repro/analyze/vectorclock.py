@@ -5,11 +5,25 @@ history the rank has (transitively) observed through synchronization.
 Two accesses are ordered iff the later one's clock dominates the
 earlier one's component for the earlier rank; otherwise they are
 concurrent — and, if they conflict on the same shared region, a race.
+
+Storage is a C-contiguous ``array('q')`` rather than a list.  The
+clock is allocated per access event and copied per snapshot on the
+predictive pass's hot loop, and those are the operations the array
+representation accelerates: zero-fill allocation is one memset
+(``_ZERO * nprocs``), ``copy`` is one memcpy (slice), and ``join``
+short-circuits with a memcmp when the buffers are already equal.
+Element-wise operations (``tick``, a divergent ``join``) pay a small
+boxing toll relative to a list; measured numbers for both are in
+``BENCH_sim.json`` (vectorclock notes).
 """
 
 from __future__ import annotations
 
+from array import array
+
 __all__ = ["VectorClock"]
+
+_ZERO = array("q", [0])
 
 
 class VectorClock:
@@ -17,11 +31,21 @@ class VectorClock:
 
     __slots__ = ("c",)
 
-    def __init__(self, nprocs: int, init: list[int] | None = None) -> None:
-        self.c = list(init) if init is not None else [0] * nprocs
+    def __init__(self, nprocs: int, init=None) -> None:
+        self.c = array("q", init) if init is not None else _ZERO * nprocs
 
     def copy(self) -> "VectorClock":
-        return VectorClock(len(self.c), self.c)
+        vc = VectorClock.__new__(VectorClock)
+        vc.c = self.c[:]  # array slicing is a buffer memcpy
+        return vc
+
+    def snapshot(self) -> array:
+        """Immutable-by-convention timestamp of the current clock.
+
+        One memcpy; the caller must only read it.  Supports integer
+        indexing, which is all the epoch test needs.
+        """
+        return self.c[:]
 
     def tick(self, rank: int) -> None:
         """Advance this rank's own component (a new local epoch)."""
@@ -30,9 +54,11 @@ class VectorClock:
     def join(self, other: "VectorClock") -> None:
         """Merge ``other`` into this clock (component-wise max)."""
         c, o = self.c, other.c
-        for i in range(len(c)):
-            if o[i] > c[i]:
-                c[i] = o[i]
+        if o == c:  # memcmp: nothing new to observe
+            return
+        for i, v in enumerate(o):
+            if v > c[i]:
+                c[i] = v
 
     def ordered_before(self, rank: int, other: "VectorClock") -> bool:
         """True if an event stamped with this clock on ``rank``
@@ -44,4 +70,4 @@ class VectorClock:
         return self.c[rank] <= other.c[rank]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"VC{self.c!r}"
+        return f"VC{list(self.c)!r}"

@@ -174,6 +174,57 @@ def fence_elision() -> Iterator[None]:
 
 
 @contextlib.contextmanager
+def lock_order_inversion() -> Iterator[None]:
+    """Thieves lock their *own* queue before the victim's during a steal.
+
+    A plausible "optimization": reserving absorb space up front so the
+    stolen chunk can land without a second lock round. It creates the
+    textbook deadlock recipe — rank A holds ``q[A]`` wanting ``q[B]``
+    while rank B holds ``q[B]`` wanting ``q[A]`` — yet almost never
+    hangs in practice because steal critical sections are short; on the
+    default schedule every run completes.  That makes it the target for
+    *predictive* lock-order analysis: the inverted order shows up in the
+    lock-order graph of any trace with two-way stealing, and the
+    deadlock witness strategy can steer the chains into an actual cycle
+    (reported by the capture's wait-for monitor).
+
+    The wrapper announces its inverted acquisition with a
+    ``steal-own-lock`` protocol event — the gate the witness keys on.
+    """
+    orig_init = SplitQueue.__init__
+    orig_steal = SplitQueue.steal_from
+
+    def registering_init(self: SplitQueue, *args, **kwargs) -> None:
+        orig_init(self, *args, **kwargs)
+        self.engine.state.setdefault("queue-registry", {})[self.owner] = self
+
+    def inverted_steal_from(
+        self: SplitQueue, proc, want, probe_first=False, on_transfer=None
+    ):
+        own = self.engine.state.get("queue-registry", {}).get(proc.rank)
+        if own is None or own.config.wait_free_steals or own is self:
+            return orig_steal(
+                self, proc, want, probe_first=probe_first, on_transfer=on_transfer
+            )
+        hooks.protocol(proc, "steal-own-lock", victim=self.owner)
+        own.mutex.acquire(proc)
+        try:
+            return orig_steal(
+                self, proc, want, probe_first=probe_first, on_transfer=on_transfer
+            )
+        finally:
+            own.mutex.release(proc)
+
+    SplitQueue.__init__ = registering_init
+    SplitQueue.steal_from = inverted_steal_from
+    try:
+        yield
+    finally:
+        SplitQueue.__init__ = orig_init
+        SplitQueue.steal_from = orig_steal
+
+
+@contextlib.contextmanager
 def no_mutation() -> Iterator[None]:
     yield
 
@@ -185,6 +236,7 @@ MUTATIONS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
     "no_dirty_mark": no_dirty_mark,
     "late_dirty_mark": late_dirty_mark,
     "fence_elision": fence_elision,
+    "lock_order_inversion": lock_order_inversion,
 }
 
 

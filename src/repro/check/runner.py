@@ -107,8 +107,15 @@ def run_once(
     strategy: SchedulingStrategy | None,
     engine_seed: int = 0,
     mutation: str | None = None,
+    engine_hook=None,
 ) -> RunOutcome:
-    """Run one schedule of ``scenario`` under ``strategy`` and check it."""
+    """Run one schedule of ``scenario`` under ``strategy`` and check it.
+
+    ``engine_hook`` (when given) is called with the engine after
+    creation and before the scenario builds — the attachment point for
+    extra observers (race detector, trace capture, witness listeners)
+    without perturbing the run.
+    """
     out = RunOutcome()
     # fresh task uids per run so the uids in a persisted failure trace
     # mean the same thing when the trace is replayed in a new process
@@ -121,6 +128,8 @@ def run_once(
             strategy=strategy,
         )
         tracer = Tracer.attach(engine)
+        if engine_hook is not None:
+            engine_hook(engine)
         ctx = scenario.build(engine)
         try:
             engine.run()

@@ -214,6 +214,7 @@ class SplitQueue:
         observe(proc, "queue_occupancy", self.size())
         with span(proc, "release", "queue", detail=k):
             self._owner_split_update(proc, _move)
+        hooks.protocol(proc, "queue-release", n=k)
         edge_mark(proc, self._share_key, detail=k)
         self.counters.add(proc.rank, "release_ops")
         self.counters.add(proc.rank, "tasks_released", k)
@@ -304,6 +305,9 @@ class SplitQueue:
             del self._shared[len(self._shared) - k :]
             if taken:
                 trace(proc, "q-steal", (self.owner, tuple(t.uid for t in taken)))
+                hooks.protocol(
+                    proc, "steal-transfer", victim=self.owner, n=len(taken)
+                )
                 if on_transfer is not None:
                     on_transfer()
             return taken
@@ -346,6 +350,9 @@ class SplitQueue:
             del self._shared[len(self._shared) - k :]
             if taken:
                 trace(proc, "q-steal", (self.owner, tuple(t.uid for t in taken)))
+                hooks.protocol(
+                    proc, "steal-transfer", victim=self.owner, n=len(taken)
+                )
                 if on_transfer is not None:
                     on_transfer()
             return taken

@@ -140,6 +140,20 @@ class TerminationDetector:
         ``no_dirty_mark`` / ``fence_elision`` mutations reinstate the
         message-based variants to demonstrate the failure.
         """
+        # Attestation for the predictive analyzer: the correct protocol
+        # emits a mark decision for *every* steal it is asked about (even
+        # an elided one carries the votes-before justification).  A
+        # transfer with no preceding decision event from the same thief
+        # means this method was bypassed — the signature of the
+        # dirty-mark mutations.
+        hooks.protocol(
+            proc,
+            "mark-decision",
+            victim=victim,
+            needed=self._need_mark(victim),
+            thief_voted=self.voted,
+            wave=self.wave,
+        )
         if not self._need_mark(victim):
             return None
         victim_det = self.peers[victim]
@@ -225,6 +239,7 @@ class TerminationDetector:
             self.in_wave = True
             self.voted = False
             self.child_tokens = {}
+            hooks.protocol(proc, "wave-down", wave=wave)
             for c in self.children:
                 self._send(proc, c, ("down", wave))
         elif kind == "up":
@@ -245,6 +260,7 @@ class TerminationDetector:
     def _send(self, proc: Proc, dest: int, payload: tuple) -> None:
         self.counters.add(proc.rank, "td_msgs")
         trace(proc, "td-msg", f"{payload[0]} -> rank {dest}")
+        hooks.protocol(proc, "td-send", dest=dest, token=payload[0])
         self.armci.post(proc, dest, self.tag, payload)
 
     # ------------------------------------------------------------------ #
@@ -263,6 +279,7 @@ class TerminationDetector:
         if len(self.child_tokens) < len(self.children):
             return
         color = self._combined_color(proc)
+        hooks.protocol(proc, "vote", wave=self.wave, color=color)
         hooks.flag_write(proc, ("td-dirty", self.tag, self.rank))
         self.dirty = False
         self.voted = True
@@ -278,6 +295,7 @@ class TerminationDetector:
             self.child_tokens = {}
             self._wave_started = proc.now
             self.counters.add(proc.rank, "waves")
+            hooks.protocol(proc, "wave-start", wave=self.wave)
             for c in self.children:
                 self._send(proc, c, ("down", self.wave))
         if len(self.child_tokens) < len(self.children):
@@ -295,6 +313,10 @@ class TerminationDetector:
                 self._wave_started,
                 detail="white" if color == WHITE else "black",
             )
+        hooks.protocol(
+            proc, "wave-complete", wave=self.wave, color=color,
+            done=color == WHITE,
+        )
         hooks.flag_write(proc, ("td-dirty", self.tag, self.rank))
         self.dirty = False
         self.in_wave = False

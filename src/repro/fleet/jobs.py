@@ -23,6 +23,13 @@ embarrassingly parallel surfaces of the toolchain:
     intentionally seeded protocol bug and report whether the checker
     caught it — the fleet-scale version of the checker's self-test.
 
+``predict``
+    One scenario of a predictive-analysis campaign
+    (:mod:`repro.analyze.predict`): capture a default-schedule trace,
+    run the lockset / weakened-HB / obligation / lock-graph passes, and
+    confirm predictions with witness replays — all worker-side; the
+    parent gets a serialized report plus its rendered text.
+
 ``probe``
     Fleet self-test jobs (sleep / crash / raise) used by the failure-
     path tests and ``python -m repro.fleet probe``; a ``crash`` probe
@@ -46,11 +53,12 @@ __all__ = [
     "explore_jobs",
     "bench_jobs",
     "mutation_jobs",
+    "predict_jobs",
     "trace_fingerprint",
     "JOB_KINDS",
 ]
 
-JOB_KINDS = ("explore", "bench", "mutation", "probe")
+JOB_KINDS = ("explore", "bench", "mutation", "predict", "probe")
 
 
 @dataclass
@@ -163,6 +171,30 @@ def mutation_jobs(
             },
         )
         for target, mutation in cells
+    ]
+
+
+def predict_jobs(
+    targets: list[str],
+    mutation: str | None = None,
+    engine_seed: int = 0,
+    confirm: bool = True,
+    out_dir: str | None = None,
+) -> list[Job]:
+    """One job per target of a predictive-analysis campaign."""
+    return [
+        Job(
+            kind="predict",
+            key=f"predict/{target}/{mutation or 'none'}",
+            params={
+                "target": target,
+                "mutation": mutation,
+                "engine_seed": engine_seed,
+                "confirm": confirm,
+                "out_dir": out_dir,
+            },
+        )
+        for target in targets
     ]
 
 
@@ -293,6 +325,28 @@ def _execute_mutation(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _execute_predict(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.analyze.predict import predict
+
+    report = predict(
+        params["target"],
+        mutation=params["mutation"],
+        engine_seed=params["engine_seed"],
+        confirm=params["confirm"],
+        out_dir=params["out_dir"],
+    )
+    return {
+        "target": report.target,
+        "mutation": report.mutation,
+        "events_captured": report.events_captured,
+        "base_error": report.base_error,
+        "predictions": len(report.predictions),
+        "confirmed": report.confirmed,
+        "kinds": sorted({p.kind for p in report.predictions}),
+        "text": report.describe(),
+    }
+
+
 def _execute_probe(params: dict[str, Any]) -> dict[str, Any]:
     action = params.get("action", "ok")
     if action == "sleep":
@@ -315,6 +369,7 @@ _EXECUTORS = {
     "explore": _execute_explore,
     "bench": _execute_bench,
     "mutation": _execute_mutation,
+    "predict": _execute_predict,
     "probe": _execute_probe,
 }
 

@@ -248,16 +248,21 @@ class GlobalArray:
         lo, _ = self.dist.patch(rank)
         return tuple(slice(l - o, h - o) for o, l, h in zip(lo, plo, phi))
 
+    # Race-detector granularity: block ops are keyed by the target
+    # patch's box origin, so independent blocks landing on one owner's
+    # patch do not alias.  Whole-patch ops (access/fill) keep the
+    # coarser (gid, rank) region; they are barrier-bracketed by API
+    # contract, so block-vs-patch overlap needs no conflict edge.
     def _read(self, rank: int, plo: tuple, phi: tuple) -> np.ndarray:
-        hooks.shared_read(self._runtime.engine.current, ("ga", self.gid, rank))
+        hooks.shared_read(self._runtime.engine.current, ("ga", self.gid, rank, plo))
         return self._patches[rank][self._local_slices(rank, plo, phi)].copy()
 
     def _write(self, rank: int, plo: tuple, phi: tuple, chunk: np.ndarray) -> None:
-        hooks.shared_write(self._runtime.engine.current, ("ga", self.gid, rank))
+        hooks.shared_write(self._runtime.engine.current, ("ga", self.gid, rank, plo))
         self._patches[rank][self._local_slices(rank, plo, phi)] = chunk
 
     def _accumulate(
         self, rank: int, plo: tuple, phi: tuple, chunk: np.ndarray, alpha: float
     ) -> None:
-        hooks.shared_atomic(self._runtime.engine.current, ("ga", self.gid, rank))
+        hooks.shared_atomic(self._runtime.engine.current, ("ga", self.gid, rank, plo))
         self._patches[rank][self._local_slices(rank, plo, phi)] += alpha * chunk

@@ -57,6 +57,12 @@ class SimMutex:
         t_req = proc.now
         proc.advance(self._request_cost(proc))
         proc.sync()
+        det = RaceDetector.of(self.engine)
+        if det is not None:
+            # Pre-grant request: no yield happens between here and the
+            # holder check below, so the capture's wait-for graph sees
+            # exactly the park this call is about to commit to.
+            det.on_mutex_request(proc, self)
         if self.holder is None:
             self.holder = proc
         else:

@@ -21,7 +21,9 @@ def _ids(findings):
 
 class TestFramework:
     def test_all_rules_registered(self):
-        assert set(RULES) == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+        assert set(RULES) == {
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
+        }
 
     def test_syntax_error_reported_not_raised(self):
         findings = _lint("def broken(:\n")
@@ -289,6 +291,83 @@ class TestRPR005UnfencedFlagPut:
             self.armci.put(proc, self.owner, 64, _insert)
         """
         assert _ids(_lint(code, "RPR005")) == ["RPR005"]
+
+
+class TestRPR006LockOrder:
+    def test_flags_locks_nested_in_both_orders(self):
+        code = """
+        def forward(a, b):
+            a.lock.acquire()
+            b.lock.acquire()
+            b.lock.release()
+            a.lock.release()
+
+        def backward(a, b):
+            b.lock.acquire()
+            a.lock.acquire()
+            a.lock.release()
+            b.lock.release()
+        """
+        findings = _lint(code, "RPR006")
+        assert _ids(findings) == ["RPR006"]
+        assert "both nestings" in findings[0].message
+
+    def test_self_prefix_unifies_fields_across_methods(self):
+        code = """
+        class Q:
+            def up(self):
+                self._m.acquire()
+                self._n.acquire()
+                self._n.release()
+                self._m.release()
+
+            def down(self):
+                self._n.acquire()
+                self._m.acquire()
+                self._m.release()
+                self._n.release()
+        """
+        assert _ids(_lint(code, "RPR006")) == ["RPR006"]
+
+    def test_quiet_on_consistent_global_order(self):
+        code = """
+        def ordered_twice(a, b):
+            a.lock.acquire()
+            b.lock.acquire()
+            b.lock.release()
+            a.lock.release()
+            a.lock.acquire()
+            b.lock.acquire()
+            b.lock.release()
+            a.lock.release()
+        """
+        assert _lint(code, "RPR006") == []
+
+    def test_quiet_on_sequential_not_nested_reversal(self):
+        code = """
+        def one_at_a_time(a, b):
+            b.lock.acquire()
+            b.lock.release()
+            a.lock.acquire()
+            a.lock.release()
+
+        def other_way(a, b):
+            a.lock.acquire()
+            a.lock.release()
+            b.lock.acquire()
+            b.lock.release()
+        """
+        assert _lint(code, "RPR006") == []
+
+    def test_quiet_on_reacquisition_of_same_lock_name(self):
+        code = """
+        def nested_same(a):
+            a.lock.acquire()
+            a.lock.acquire()
+            a.lock.release()
+            a.lock.release()
+        """
+        assert _lint(code, "RPR006") == []
 
 
 class TestRepoIsClean:

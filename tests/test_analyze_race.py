@@ -23,7 +23,10 @@ class TestVectorClock:
         a, b = VectorClock(3), VectorClock(3)
         a.tick(0), a.tick(0), b.tick(1)
         a.join(b)
-        assert a.c == [2, 1, 0]
+        assert list(a.c) == [2, 1, 0]
+        # array-backed storage: copies and snapshots are buffer memcpys
+        assert list(a.copy().c) == [2, 1, 0]
+        assert list(a.snapshot()) == [2, 1, 0]
 
     def test_ordered_before_epoch_test(self):
         a, b = VectorClock(2), VectorClock(2)
