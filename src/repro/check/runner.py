@@ -28,6 +28,7 @@ from repro.check.scenarios import Scenario, make_scenario
 from repro.check.strategies import ExplorationStrategy, ReplayStrategy, make_strategy
 from repro.check.traces import DecisionTrace, minimize_decisions
 from repro.sim.engine import Engine, SchedulingStrategy
+from repro.obs.flight import maybe_attach_flight
 from repro.obs.tracing import Tracer
 from repro.util.errors import ReproError, SimDeadlockError
 
@@ -130,6 +131,10 @@ def run_once(
         tracer = Tracer.attach(engine)
         if engine_hook is not None:
             engine_hook(engine)
+        # When $REPRO_FLIGHT_DIR is set, arm the flight recorder: engine
+        # failures (deadlock, PredictedDeadlockError, limits, crashes)
+        # dump the last spans per rank via the engine's failure hooks.
+        flight = maybe_attach_flight(engine, context=f"check-{scenario.name}")
         ctx = scenario.build(engine)
         try:
             engine.run()
@@ -146,6 +151,11 @@ def run_once(
         # already a reported failure and its stream is partial by design
         for checker in scenario.checkers():
             out.violations.extend(checker.check(tracer.events, ctx))
+        if out.violations and flight is not None:
+            flight.dump(
+                "invariant-failure",
+                error="; ".join(str(v) for v in out.violations[:4]),
+            )
     return out
 
 

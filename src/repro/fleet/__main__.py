@@ -14,8 +14,16 @@ Examples::
     # fleet self-test: probe jobs, including a worker crash + requeue
     python -m repro.fleet probe --jobs 2 --crash
 
+    # record several targets across workers; merge into one trace with
+    # per-worker process tracks (open fleet_trace.json in Perfetto)
+    python -m repro.fleet trace --target queue steals uts-small --jobs 2
+
 ``repro.check explore --jobs N`` and ``repro.bench --jobs N`` forward
 here, so the fleet is reachable from the tools it parallelizes.
+Passing ``--flight-dir DIR`` to any campaign arms the crash flight
+recorder in every worker (see docs/observability.md): engine failures
+dump their last spans there, and a worker death leaves a
+``fleet-crash-*.json`` report beside the worker's breadcrumb.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from repro.fleet.bench import (
     run_fleet_bench,
     write_fleet_json,
 )
-from repro.fleet.jobs import Job, explore_jobs, mutation_jobs
+from repro.fleet.jobs import Job, explore_jobs, mutation_jobs, obs_jobs
 from repro.fleet.results import failing_set_digest, merge_explore, persist_failures
 from repro.fleet.scheduler import FleetReport, FleetScheduler
 
@@ -90,6 +98,7 @@ def explore_main(args: argparse.Namespace) -> int:
     sched = FleetScheduler(
         args.jobs,
         progress=None if args.quiet else _progress_printer,
+        flight_dir=args.flight_dir,
     )
     report = sched.run(jobs)
     _print_fleet_summary(report)
@@ -154,6 +163,47 @@ def matrix_main(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def trace_main(args: argparse.Namespace) -> int:
+    from repro.obs.stream import merge_spills
+
+    jobs = obs_jobs(
+        args.target,
+        args.out,
+        nprocs=args.nprocs,
+        seed=args.seed,
+        window=args.window,
+    )
+    sched = FleetScheduler(
+        args.jobs,
+        progress=None if args.quiet else _progress_printer,
+        flight_dir=args.flight_dir,
+    )
+    report = sched.run(jobs)
+    _print_fleet_summary(report)
+    # One process track per recorded run, labelled with the worker that
+    # produced it; pids are assigned in key order so the merged trace is
+    # independent of completion order.
+    items = []
+    for res in sorted(report.completed, key=lambda r: r.key):
+        if not res.ok:
+            continue
+        p = res.payload
+        items.append(
+            (len(items) + 1, f"w{res.worker}:{p['target']}", p["spill_dir"])
+        )
+        print(
+            f"  {p['target']:<12} w{res.worker}  {p['spans']:>8} spans  "
+            f"{p['edges']:>6} edges  {p['events']:>8} events"
+            + (f"  DROPPED {p['dropped']}" if p["dropped"] else "")
+        )
+    if not items:
+        print("no successful recordings; nothing to merge")
+        return 2
+    out = merge_spills(items, args.trace)
+    print(f"merged trace -> {out} ({len(items)} process tracks)")
+    return 0 if report.ok else 2
+
+
 def probe_main(args: argparse.Namespace) -> int:
     jobs = [
         Job(kind="probe", key=f"probe/{i}", params={"action": "sleep", "seconds": 0.02})
@@ -161,7 +211,7 @@ def probe_main(args: argparse.Namespace) -> int:
     ]
     if args.crash:
         jobs.append(Job(kind="probe", key="probe/crash", params={"action": "crash"}))
-    report = FleetScheduler(args.jobs).run(jobs)
+    report = FleetScheduler(args.jobs, flight_dir=args.flight_dir).run(jobs)
     _print_fleet_summary(report)
     # A --crash probe is *expected* to end up flagged after one requeue;
     # anything else unaccounted for is a self-test failure.
@@ -203,12 +253,47 @@ def _parser() -> argparse.ArgumentParser:
     ma.add_argument("--seed", type=int, default=0)
     ma.add_argument("--quiet", action="store_true")
 
+    tr = sub.add_parser(
+        "trace", help="record targets across workers; merge one fleet trace"
+    )
+    add_trace_arguments(tr)
+
     pr = sub.add_parser("probe", help="fleet self-test (incl. crash handling)")
     pr.add_argument("--jobs", type=int, default=2, help="worker count")
     pr.add_argument("--count", type=int, default=8, help="probe jobs to run")
     pr.add_argument("--crash", action="store_true",
                     help="include a probe that SIGKILLs its worker")
+    add_flight_argument(pr)
     return p
+
+
+def add_flight_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="arm the crash flight recorder in every worker; dumps, "
+        "breadcrumbs and crash reports land here",
+    )
+
+
+def add_trace_arguments(p: argparse.ArgumentParser) -> None:
+    from repro.obs.scenarios import TARGETS
+
+    p.add_argument("--target", nargs="+", default=["queue", "steals"],
+                   choices=sorted(TARGETS),
+                   help="obs targets to record (default: queue steals)")
+    p.add_argument("--jobs", type=int, default=2, help="worker count")
+    p.add_argument("--nprocs", type=int, default=4,
+                   help="simulated ranks for app targets (default: 4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window", type=float, default=None, metavar="SEC",
+                   help="rolling metrics window interval (virtual seconds)")
+    p.add_argument("--out", default="scioto-fleet-trace",
+                   help="working directory for per-run spills "
+                   "(default: scioto-fleet-trace/)")
+    p.add_argument("--trace", default="fleet_trace.json", metavar="PATH",
+                   help="merged Chrome trace output (default: %(default)s)")
+    p.add_argument("--quiet", action="store_true")
+    add_flight_argument(p)
 
 
 def add_explore_arguments(p: argparse.ArgumentParser) -> None:
@@ -236,6 +321,7 @@ def add_explore_arguments(p: argparse.ArgumentParser) -> None:
                    help="skip writing failure trace files")
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress lines")
+    add_flight_argument(p)
 
 
 def normalize_explore_targets(args: argparse.Namespace) -> None:
@@ -255,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(args)
     if args.cmd == "matrix":
         return matrix_main(args)
+    if args.cmd == "trace":
+        return trace_main(args)
     if args.cmd == "probe":
         return probe_main(args)
     raise AssertionError(f"unhandled command {args.cmd!r}")  # pragma: no cover

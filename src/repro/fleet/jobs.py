@@ -30,6 +30,15 @@ embarrassingly parallel surfaces of the toolchain:
     confirm predictions with witness replays — all worker-side; the
     parent gets a serialized report plus its rendered text.
 
+``obs``
+    One recorded run of an observability target
+    (:mod:`repro.obs.scenarios`) streamed through a constant-memory
+    :class:`~repro.obs.stream.SpillSink` into a worker-local spill
+    directory.  The result carries only the spill path and counters —
+    never the spans — so fleet-wide tracing stays bounded; the parent
+    merges the spills into one multi-process Chrome trace with
+    :func:`repro.obs.stream.merge_spills`.
+
 ``probe``
     Fleet self-test jobs (sleep / crash / raise) used by the failure-
     path tests and ``python -m repro.fleet probe``; a ``crash`` probe
@@ -54,11 +63,12 @@ __all__ = [
     "bench_jobs",
     "mutation_jobs",
     "predict_jobs",
+    "obs_jobs",
     "trace_fingerprint",
     "JOB_KINDS",
 ]
 
-JOB_KINDS = ("explore", "bench", "mutation", "predict", "probe")
+JOB_KINDS = ("explore", "bench", "mutation", "predict", "obs", "probe")
 
 
 @dataclass
@@ -192,6 +202,36 @@ def predict_jobs(
                 "engine_seed": engine_seed,
                 "confirm": confirm,
                 "out_dir": out_dir,
+            },
+        )
+        for target in targets
+    ]
+
+
+def obs_jobs(
+    targets: list[str],
+    out_dir: str,
+    nprocs: int = 4,
+    seed: int = 0,
+    window: float | None = None,
+    shard_size: int | None = None,
+) -> list[Job]:
+    """One streamed recording job per obs target.
+
+    Each job spills into its own subdirectory of ``out_dir`` so merged
+    traces never interleave shards from different runs.
+    """
+    return [
+        Job(
+            kind="obs",
+            key=f"obs/{target}",
+            params={
+                "target": target,
+                "nprocs": nprocs,
+                "seed": seed,
+                "spill_dir": os.path.join(out_dir, f"spill-{target}"),
+                "window": window,
+                "shard_size": shard_size,
             },
         )
         for target in targets
@@ -347,6 +387,41 @@ def _execute_predict(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _execute_obs(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.obs.flight import flight_from_env
+    from repro.obs.scenarios import run_target
+
+    run = run_target(
+        params["target"],
+        nprocs=params.get("nprocs", 4),
+        seed=params.get("seed", 0),
+        record=True,
+        events=False,
+        stream_dir=params["spill_dir"],
+        shard_size=params.get("shard_size"),
+        window=params.get("window"),
+        # Armed when the fleet was launched with --flight-dir: periodic
+        # flushes mean a SIGKILL'd worker still leaves its last spans.
+        flight=flight_from_env(context=f"obs-{params['target']}"),
+    )
+    rec = run.recorder
+    # Only the spill path and counters cross the pipe; the spans stay on
+    # disk in the worker-local spill, keeping results O(1) regardless of
+    # run length.
+    return {
+        "target": params["target"],
+        "spill_dir": params["spill_dir"],
+        "nprocs": len(run.engine.procs),
+        "elapsed": run.elapsed,
+        "events": run.events,
+        "spans": rec.span_count,
+        "instants": rec.instant_count,
+        "edges": rec.edge_count,
+        "dropped": rec.dropped,
+        "metrics": rec.metrics.to_dict(),
+    }
+
+
 def _execute_probe(params: dict[str, Any]) -> dict[str, Any]:
     action = params.get("action", "ok")
     if action == "sleep":
@@ -370,6 +445,7 @@ _EXECUTORS = {
     "bench": _execute_bench,
     "mutation": _execute_mutation,
     "predict": _execute_predict,
+    "obs": _execute_obs,
     "probe": _execute_probe,
 }
 

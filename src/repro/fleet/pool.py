@@ -61,10 +61,18 @@ class _Slot:
 class ProcessPool:
     """``nworkers`` seats, each backed by a child process and a pipe."""
 
-    def __init__(self, nworkers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        nworkers: int,
+        start_method: str | None = None,
+        flight_dir: str | None = None,
+    ) -> None:
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
         self.nworkers = nworkers
+        #: When set, workers arm the crash flight recorder and drop
+        #: per-job breadcrumbs here (see repro.fleet.worker).
+        self.flight_dir = None if flight_dir is None else str(flight_dir)
         self._ctx = multiprocessing.get_context(start_method or default_start_method())
         if self._ctx.get_start_method() == "forkserver":
             try:
@@ -77,7 +85,7 @@ class ProcessPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, worker_id),
+            args=(child_conn, worker_id, self.flight_dir),
             name=f"fleet-worker-{worker_id}",
             daemon=True,
         )
@@ -179,10 +187,13 @@ class InlinePool:
     tests.
     """
 
-    def __init__(self, nworkers: int) -> None:
+    def __init__(self, nworkers: int, flight_dir: str | None = None) -> None:
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
         self.nworkers = nworkers
+        # Accepted for interface parity; inline jobs run in the parent,
+        # which arms its own flight recorder via $REPRO_FLIGHT_DIR.
+        self.flight_dir = None if flight_dir is None else str(flight_dir)
         self._pending: list[WorkerEvent] = []
 
     def pid(self, worker: int) -> int | None:

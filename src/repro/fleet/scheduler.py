@@ -37,8 +37,10 @@ snapshots riding on job results are merged in via
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.fleet.jobs import Job, JobResult
@@ -148,6 +150,7 @@ class FleetScheduler:
         release_threshold: int = 2,
         progress: Callable[[dict[str, Any]], None] | None = None,
         progress_interval: float = 0.5,
+        flight_dir: str | Path | None = None,
     ) -> None:
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
@@ -158,6 +161,10 @@ class FleetScheduler:
         self.release_threshold = release_threshold
         self.progress = progress
         self.progress_interval = progress_interval
+        #: When set, workers arm the crash flight recorder there and the
+        #: scheduler writes a ``fleet-crash-w<worker>-<n>.json`` report
+        #: beside the worker's flight dump on every death.
+        self.flight_dir = None if flight_dir is None else Path(flight_dir)
 
     # ------------------------------------------------------------------ #
     # Campaign entry point
@@ -179,10 +186,17 @@ class FleetScheduler:
             report.waves = detector.waves
             report.wall_s = time.perf_counter() - t0  # repro: lint-disable=RPR002
             return report
+        if self.flight_dir is not None:
+            self.flight_dir.mkdir(parents=True, exist_ok=True)
+        flight_dir = None if self.flight_dir is None else str(self.flight_dir)
         pool = (
-            InlinePool(self.nworkers)
+            InlinePool(self.nworkers, flight_dir=flight_dir)
             if self.inline
-            else ProcessPool(self.nworkers, start_method=self.start_method)
+            else ProcessPool(
+                self.nworkers,
+                start_method=self.start_method,
+                flight_dir=flight_dir,
+            )
         )
         try:
             self._run_loop(jobs, pool, report)
@@ -313,6 +327,11 @@ class FleetScheduler:
         metrics.add(w, "worker_deaths")
         detector.mark_dirty(w)
         job = in_flight.pop(w, None)
+        fate = "idle"
+        if job is not None:
+            fate = "requeued" if job.attempts <= self.max_requeues else "crashed"
+        if self.flight_dir is not None:
+            self._write_crash_report(w, job, fate, pool, report)
         if job is not None:
             if job.attempts <= self.max_requeues:
                 # Requeue exactly once (attempts counts dispatches): the
@@ -333,6 +352,39 @@ class FleetScheduler:
                 )
                 metrics.add(w, "jobs_crashed")
         pool.respawn(w)
+
+    def _write_crash_report(
+        self, w: int, job: Job | None, fate: str, pool, report: FleetReport
+    ) -> None:
+        """Persist what is known about a worker death next to its flight
+        dump: the in-flight job, the dead pid, and the worker's last
+        breadcrumb (its own view of what it was running when killed)."""
+        from repro.fleet.worker import breadcrumb_path
+        from repro.util.io import atomic_write_text
+
+        breadcrumb = None
+        try:
+            breadcrumb = json.loads(
+                breadcrumb_path(self.flight_dir, w).read_text()
+            )
+        except (OSError, ValueError):
+            pass  # worker died before its first breadcrumb
+        doc = {
+            "schema": "repro-fleet-crash/1",
+            "worker": w,
+            "pid": pool.pid(w),
+            "death_number": report.worker_deaths,
+            "job": None
+            if job is None
+            else {"key": job.key, "kind": job.kind, "attempts": job.attempts},
+            "job_fate": fate,
+            "breadcrumb": breadcrumb,
+        }
+        path = self.flight_dir / f"fleet-crash-w{w}-{report.worker_deaths}.json"
+        try:
+            atomic_write_text(path, json.dumps(doc, indent=2))
+        except OSError:  # pragma: no cover - reporting is best-effort
+            pass
 
     # ------------------------------------------------------------------ #
     # Progress

@@ -5,7 +5,12 @@ Subcommands:
 * ``run`` — execute a target (check scenario or UTS/SCF/TCE preset)
   with recording on; write a Chrome trace JSON (``--trace``, open it
   in Perfetto), a metrics JSON (``--metrics``), and/or print the ASCII
-  timeline and summary.
+  timeline and summary.  ``--stream DIR`` records through the
+  constant-memory spill sink (sharded JSONL; ``--trace`` then packs
+  the shards), ``--window SEC`` adds rolling metrics windows to the
+  metrics JSON, and ``--flight PATH`` arms the crash flight recorder.
+* ``pack`` — convert a sealed spill directory (``repro-obs-stream/1``)
+  into a Perfetto-loadable Chrome trace without materializing the run.
 * ``summarize`` — post-hoc report over an exported trace JSON.
 * ``critical-idle`` — the longest per-rank idle gaps in an exported
   trace, with the spans that bounded them.
@@ -25,12 +30,17 @@ Subcommands:
   virtual-time fingerprints (elapsed, event count, per-rank clocks and
   every ``Counters`` value) to match bit-for-bit; additionally run
   with causal edges off and require the span/instant stream to be
-  unchanged (edges are metadata-only).  Repeats per available
-  context-switch backend.  Exits 1 on any divergence.
+  unchanged (edges are metadata-only), and run through the streaming
+  spill sink and require *its* span/instant stream to match the
+  in-memory recorder's bit-for-bit.  Any dropped record fails the
+  check.  Repeats per available context-switch backend.  Exits 1 on
+  any divergence.
 
 Examples::
 
     python -m repro.obs run uts-small --trace out.json --metrics m.json
+    python -m repro.obs run uts-medium --stream spill/ --trace out.json
+    python -m repro.obs pack spill/ --trace out.json
     python -m repro.obs run steals --timeline
     python -m repro.obs summarize out.json --top 10
     python -m repro.obs critical-idle out.json
@@ -43,8 +53,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import tempfile
+from pathlib import Path
 
 from repro.check.scenarios import SCENARIOS as CHECK_SCENARIOS
 from repro.sim.backends import BACKENDS, ENV_BACKEND, available_backends
@@ -68,19 +81,50 @@ from repro.obs.whatif import parse_scales, project, render_projection
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    run = run_target(args.target, nprocs=args.nprocs, seed=args.seed)
+    flight = None
+    if args.flight:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(args.flight, flush_every=args.flight_flush)
+    # Streamed runs skip the tracer: its in-memory event list is
+    # unbounded, which would defeat the constant-memory spill path.
+    run = run_target(
+        args.target,
+        nprocs=args.nprocs,
+        seed=args.seed,
+        events=not args.stream,
+        stream_dir=args.stream,
+        window=args.window,
+        flight=flight,
+    )
     rec = run.recorder
     assert rec is not None
     print(
         f"{run.target}: {run.elapsed * 1e3:.3f} ms virtual, "
-        f"{run.events} engine events, {len(rec.spans)} spans "
-        f"({rec.dropped} dropped), {len(rec.instants)} instants"
+        f"{run.events} engine events, {rec.span_count} spans "
+        f"({rec.dropped} dropped), {rec.instant_count} instants"
     )
+    if rec.dropped:
+        print(
+            f"WARNING: {rec.dropped} records dropped at capacity "
+            f"({rec.dropped_spans} spans, {rec.dropped_instants} instants, "
+            f"{rec.dropped_edges} edges) — the recording is incomplete",
+            file=sys.stderr,
+        )
     for k, v in run.extra.items():
         print(f"  {k}: {v}")
+    if args.stream:
+        print(f"span spill (repro-obs-stream/1) -> {args.stream}")
     if args.trace:
-        path = write_chrome_trace(rec, args.trace, tracer=run.tracer)
-        print(f"chrome trace -> {path} (open in https://ui.perfetto.dev)")
+        if args.stream:
+            from repro.obs.stream import pack
+
+            path = pack(args.stream, args.trace)
+            print(f"chrome trace (streamed pack) -> {path} "
+                  f"(open in https://ui.perfetto.dev)")
+        else:
+            path = write_chrome_trace(rec, args.trace, tracer=run.tracer)
+            print(f"chrome trace -> {path} (open in https://ui.perfetto.dev)")
     if args.metrics:
         pstats = (
             [s.to_dict() for s in run.process_stats]
@@ -108,12 +152,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
     spans = load_chrome_trace(args.trace)
+    other = json.loads(Path(args.trace).read_text()).get("otherData", {})
+    dropped = other.get("spans_dropped", 0)
+    if dropped:
+        print(
+            f"WARNING: this trace is incomplete — {dropped} records were "
+            f"dropped at recorder capacity (re-record with --stream for "
+            f"bounded-memory, lossless capture)",
+            file=sys.stderr,
+        )
     print(summarize(spans, width=args.width, top=args.top))
+    if dropped:
+        print(f"\ndropped records: {dropped} (recording truncated at capacity)")
     if args.metrics:
         doc = load_metrics_json(args.metrics)
         print()
         print(f"histogram percentiles ({doc.get('schema')}):")
         print(percentile_table(doc.get("histograms", {})))
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.obs.stream import SpillReader, pack
+
+    try:
+        reader = SpillReader(args.spill)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = pack(args.spill, args.trace)
+    idx = reader.index
+    print(
+        f"packed {idx.get('spans', 0)} spans, {idx.get('instants', 0)} "
+        f"instants, {idx.get('edges', 0)} edges -> {path} "
+        f"(open in https://ui.perfetto.dev)"
+    )
+    if idx.get("dropped"):
+        print(
+            f"WARNING: the spilled recording dropped {idx['dropped']} records",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -242,8 +320,41 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     print(f"{name}[{backend}]: span stream DIVERGED "
                           f"between edges on and off")
                     continue
+                # The streaming spill sink must be an exact stand-in for
+                # the in-memory recorder: same run fingerprint, same
+                # span/instant stream bit-for-bit.
+                with tempfile.TemporaryDirectory() as td:
+                    streamed = run_target(
+                        name, nprocs=args.nprocs, seed=args.seed,
+                        record=True, events=False,
+                        stream_dir=Path(td) / "spill",
+                    )
+                    assert streamed.recorder is not None
+                    if fingerprint(streamed) != base:
+                        bad += 1
+                        print(f"{name}[{backend}]: DIVERGED with streaming "
+                              f"recording on")
+                        continue
+                    if (
+                        streamed.recorder.stream_fingerprint()
+                        != on.recorder.stream_fingerprint()
+                    ):
+                        bad += 1
+                        print(f"{name}[{backend}]: streamed span stream "
+                              f"DIVERGED from in-memory recorder")
+                        continue
+                    drops = (
+                        on.recorder.dropped + off.recorder.dropped
+                        + streamed.recorder.dropped
+                    )
+                if drops:
+                    bad += 1
+                    print(f"{name}[{backend}]: {drops} records DROPPED at "
+                          f"capacity — recording is incomplete")
+                    continue
                 print(f"{name}[{backend}]: ok (fingerprint and span stream "
-                      f"unchanged by recording and causal edges)")
+                      f"unchanged by recording, causal edges, and streaming; "
+                      f"0 dropped)")
     finally:
         if saved is None:
             os.environ.pop(ENV_BACKEND, None)
@@ -279,7 +390,28 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--timeline", action="store_true",
                        help="print the ASCII per-rank timeline + summary")
     p_run.add_argument("--width", type=int, default=80)
+    p_run.add_argument("--stream", metavar="DIR",
+                       help="record through the constant-memory spill sink "
+                       "into this directory (sharded JSONL, "
+                       "repro-obs-stream/1); --trace then packs the shards")
+    p_run.add_argument("--window", type=float, metavar="SEC",
+                       help="rolling metrics windows at this virtual-time "
+                       "interval (exported under 'windows' in --metrics)")
+    p_run.add_argument("--flight", metavar="PATH",
+                       help="arm the crash flight recorder; the most recent "
+                       "spans/instants per rank are dumped here on failure")
+    p_run.add_argument("--flight-flush", type=int, default=0, metavar="N",
+                       help="also rewrite the flight dump every N records "
+                       "(survives SIGKILL; 0 = only on failure)")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_pack = sub.add_parser(
+        "pack", help="convert a spill directory to a Chrome trace"
+    )
+    p_pack.add_argument("spill", help="spill directory written by run --stream")
+    p_pack.add_argument("--trace", required=True, metavar="PATH",
+                        help="write the packed Chrome trace_event JSON here")
+    p_pack.set_defaults(fn=_cmd_pack)
 
     p_sum = sub.add_parser("summarize", help="report over an exported trace")
     p_sum.add_argument("trace", help="Chrome trace JSON written by 'run'")

@@ -30,7 +30,8 @@ from collections import defaultdict
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.obs.record import Recorder, SpanRecord
+from repro.obs.record import EdgeRecord, InstantRecord, Recorder, SpanRecord
+from repro.util.io import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.tracing import Tracer
@@ -43,6 +44,10 @@ __all__ = [
     "ascii_timeline",
     "summary_table",
     "self_times",
+    "meta_events",
+    "span_event",
+    "instant_event",
+    "flow_event_pair",
     "METRICS_SCHEMA",
     "FLOW_KINDS",
 ]
@@ -75,6 +80,108 @@ def _span_args(span: SpanRecord) -> dict | None:
     return {"detail": str(span.detail)}
 
 
+# ---------------------------------------------------------------------- #
+# Shared event builders: one definition of each Chrome event's exact
+# shape (and dict key order — the streamed pack in repro.obs.stream
+# reuses these to stay byte-identical with the in-memory exporter).
+# ---------------------------------------------------------------------- #
+def meta_events(nprocs: int, pid: int = 0, process: str = "scioto-sim") -> list[dict]:
+    """Process/thread metadata events for one simulated engine's tracks."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process},
+        }
+    ]
+    if pid != 0:
+        # Fleet-merged traces: keep worker processes in worker-id order.
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    for r in range(nprocs):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": r,
+                "args": {"name": f"rank {r}"},
+            }
+        )
+        # Perfetto sorts tracks by this index; keep rank order.
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": r,
+                "args": {"sort_index": r},
+            }
+        )
+    return events
+
+
+def span_event(span: SpanRecord, pid: int = 0) -> dict:
+    """One finished span as a complete (``"ph": "X"``) event."""
+    ev = {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": span.start * 1e6,
+        "dur": span.duration * 1e6,
+        "pid": pid,
+        "tid": span.rank,
+    }
+    args = _span_args(span)
+    if args is not None:
+        ev["args"] = args
+    return ev
+
+
+def instant_event(inst: InstantRecord, pid: int = 0) -> dict:
+    """One marker as a thread-scoped instant (``"ph": "i"``) event."""
+    return {
+        "name": inst.name,
+        "cat": inst.category,
+        "ph": "i",
+        "s": "t",  # thread-scoped instant
+        "ts": inst.time * 1e6,
+        "pid": pid,
+        "tid": inst.rank,
+    }
+
+
+def flow_event_pair(
+    edge: EdgeRecord, pid: int = 0, eid_offset: int = 0
+) -> tuple[dict, dict]:
+    """One causal edge as a Perfetto flow-arrow ``("s", "f")`` pair."""
+    base = {
+        "name": edge.kind,
+        "cat": "causal",
+        "id": edge.eid + eid_offset,
+        "pid": pid,
+    }
+    if edge.detail is not None:
+        base["args"] = {"detail": str(edge.detail)}
+    start = {**base, "ph": "s", "ts": edge.src_time * 1e6, "tid": edge.src_rank}
+    # bp:"e" binds the arrow head to the enclosing slice (the steal
+    # span / lock-wait span the edge released).
+    finish = {
+        **base, "ph": "f", "bp": "e", "ts": edge.dst_time * 1e6,
+        "tid": edge.dst_rank,
+    }
+    return start, finish
+
+
 def chrome_trace(
     recorder: Recorder,
     tracer: "Tracer | None" = None,
@@ -91,70 +198,19 @@ def chrome_trace(
             steps become a highlighted "critical path" process.
         flow_kinds: Causal-edge kinds to draw as flow arrows.
     """
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": "scioto-sim"},
-        }
-    ]
-    ranks = range(recorder.engine.nprocs)
-    for r in ranks:
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": r,
-                "args": {"name": f"rank {r}"},
-            }
-        )
-        # Perfetto sorts tracks by this index; keep rank order.
-        events.append(
-            {
-                "name": "thread_sort_index",
-                "ph": "M",
-                "pid": 0,
-                "tid": r,
-                "args": {"sort_index": r},
-            }
-        )
+    events: list[dict] = meta_events(recorder.engine.nprocs)
     span_events = []
     for span in recorder.spans:
         if span.end is None:
             continue  # still open: the run aborted inside this span
-        ev = {
-            "name": span.name,
-            "cat": span.category,
-            "ph": "X",
-            "ts": span.start * 1e6,
-            "dur": span.duration * 1e6,
-            "pid": 0,
-            "tid": span.rank,
-        }
-        args = _span_args(span)
-        if args is not None:
-            ev["args"] = args
-        span_events.append(ev)
+        span_events.append(span_event(span))
     # Spans recorded out-of-stack (Recorder.complete_span) are appended
     # at close time; re-sort so each rank's track is start-ordered, with
     # the enclosing span first on ties.
     span_events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
     events.extend(span_events)
     for inst in recorder.instants:
-        events.append(
-            {
-                "name": inst.name,
-                "cat": inst.category,
-                "ph": "i",
-                "s": "t",  # thread-scoped instant
-                "ts": inst.time * 1e6,
-                "pid": 0,
-                "tid": inst.rank,
-            }
-        )
+        events.append(instant_event(inst))
     if tracer is not None:
         for e in tracer.events:
             events.append(
@@ -174,18 +230,9 @@ def chrome_trace(
         if edge.kind not in flow_kinds:
             continue
         flows += 1
-        base = {"name": edge.kind, "cat": "causal", "id": edge.eid, "pid": 0}
-        if edge.detail is not None:
-            base["args"] = {"detail": str(edge.detail)}
-        events.append(
-            {**base, "ph": "s", "ts": edge.src_time * 1e6, "tid": edge.src_rank}
-        )
-        # bp:"e" binds the arrow head to the enclosing slice (the steal
-        # span / lock-wait span the edge released).
-        events.append(
-            {**base, "ph": "f", "bp": "e", "ts": edge.dst_time * 1e6,
-             "tid": edge.dst_rank}
-        )
+        start, finish = flow_event_pair(edge)
+        events.append(start)
+        events.append(finish)
     if critpath is not None:
         events.extend(_critpath_events(critpath))
     return {
@@ -193,9 +240,9 @@ def chrome_trace(
         "displayTimeUnit": "ns",
         "otherData": {
             "source": "repro.obs",
-            "spans_recorded": len(recorder.spans),
+            "spans_recorded": recorder.span_count,
             "spans_dropped": recorder.dropped,
-            "edges_recorded": len(recorder.edges),
+            "edges_recorded": recorder.edge_count,
             "flow_events": flows,
         },
     }
@@ -247,9 +294,11 @@ def write_chrome_trace(
     tracer: "Tracer | None" = None,
     critpath: "object | None" = None,
 ) -> Path:
-    """Write the Chrome trace JSON to ``path`` and return it."""
+    """Write the Chrome trace JSON to ``path`` (atomically) and return it."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(recorder, tracer, critpath=critpath)))
+    atomic_write_text(
+        path, json.dumps(chrome_trace(recorder, tracer, critpath=critpath))
+    )
     return path
 
 
@@ -257,20 +306,19 @@ def metrics_dict(
     recorder: Recorder, process_stats: list[dict] | None = None
 ) -> dict:
     """Flat metrics document: counters, gauges, histograms, span stats."""
-    by_cat: dict[str, int] = defaultdict(int)
-    for s in recorder.spans:
-        by_cat[s.category] += 1
     doc = {
         "schema": METRICS_SCHEMA,
         "nprocs": recorder.engine.nprocs,
         **recorder.metrics.to_dict(),
         "spans": {
-            "recorded": len(recorder.spans),
+            "recorded": recorder.span_count,
             "dropped": recorder.dropped,
-            "instants": len(recorder.instants),
-            "by_category": dict(sorted(by_cat.items())),
+            "instants": recorder.instant_count,
+            "by_category": dict(sorted(recorder.category_counts.items())),
         },
     }
+    if recorder.windows is not None:
+        doc["windows"] = recorder.windows.to_dict()
     if process_stats is not None:
         doc["process_stats"] = process_stats
     return doc
@@ -281,9 +329,11 @@ def write_metrics_json(
     path: str | Path,
     process_stats: list[dict] | None = None,
 ) -> Path:
-    """Write the metrics JSON to ``path`` and return it."""
+    """Write the metrics JSON to ``path`` (atomically) and return it."""
     path = Path(path)
-    path.write_text(json.dumps(metrics_dict(recorder, process_stats), indent=2))
+    atomic_write_text(
+        path, json.dumps(metrics_dict(recorder, process_stats), indent=2)
+    )
     return path
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RollingWindows",
     "DEFAULT_BUCKETS",
     "TIME_BUCKETS",
     "COUNT_BUCKETS",
@@ -325,3 +326,106 @@ class MetricsRegistry:
                 rank = into_rank if into_rank is not None else int(rank_str)
                 hist._rank_count[rank] += rc["count"]
                 hist._rank_sum[rank] += rc["sum"]
+
+
+def _bucket_quantile(
+    edges: tuple[float, ...], counts: list[int], count: int, q: float,
+    overflow_value: float,
+) -> float:
+    """Quantile over one bucket-count vector (Histogram.quantile's rule)."""
+    if count == 0:
+        return 0.0
+    target = q * count
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= target and c:
+            return edges[i] if i < len(edges) else overflow_value
+    return overflow_value
+
+
+class RollingWindows:
+    """Windowed histogram time series over a :class:`MetricsRegistry`.
+
+    The registry keeps *cumulative* distributions; this class snapshots
+    them at a fixed virtual-time ``interval`` and emits the per-window
+    *delta* — count, sum, mean, and bucket-resolution p50/p95/p99 — as a
+    time series.  ``roll(now)`` must be called (by the recorder's metric
+    hooks) before each observation is recorded, so a window ``[t0, t1)``
+    holds exactly the observations whose virtual timestamps fall inside
+    it.  Windows with no observations are skipped; boundaries depend
+    only on virtual time, so the series is deterministic.
+
+    The per-window p99 of, say, ``steal_latency`` is the SLO substrate
+    the open-loop serving scenario needs (ROADMAP item 3): a tail
+    spike is visible in its window rather than diluted into the
+    whole-run distribution.
+    """
+
+    def __init__(self, registry: MetricsRegistry, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("window interval must be > 0")
+        self.registry = registry
+        self.interval = float(interval)
+        self.windows: list[dict] = []
+        self._t0 = 0.0
+        self._last = 0.0
+        # name -> (counts copy, count, sum) at the last window boundary
+        self._snap: dict[str, tuple[list[int], int, float]] = {}
+        self._finalized = False
+
+    def roll(self, now: float) -> None:
+        """Close every window that ends at or before ``now``."""
+        if now > self._last:
+            self._last = now
+        while now >= self._t0 + self.interval:
+            self._close_window(self._t0 + self.interval)
+
+    def _close_window(self, t1: float) -> None:
+        histograms: dict[str, dict] = {}
+        for name in sorted(self.registry.histograms):
+            h = self.registry.histograms[name]
+            prev = self._snap.get(name)
+            prev_counts, prev_count, prev_sum = (
+                prev if prev is not None else ([0] * len(h.counts), 0, 0.0)
+            )
+            dcount = h.count - prev_count
+            if dcount:
+                dsum = h.sum - prev_sum
+                dcounts = [c - p for c, p in zip(h.counts, prev_counts)]
+                histograms[name] = {
+                    "count": dcount,
+                    "sum": dsum,
+                    "mean": dsum / dcount,
+                    # Overflow observations report the cumulative max: the
+                    # true windowed max is not retained (bucket resolution).
+                    "p50": _bucket_quantile(h.edges, dcounts, dcount, 0.50, h.max),
+                    "p95": _bucket_quantile(h.edges, dcounts, dcount, 0.95, h.max),
+                    "p99": _bucket_quantile(h.edges, dcounts, dcount, 0.99, h.max),
+                }
+            self._snap[name] = (list(h.counts), h.count, h.sum)
+        if histograms:
+            self.windows.append({"t0": self._t0, "t1": t1, "histograms": histograms})
+        self._t0 = t1
+
+    def _has_delta(self) -> bool:
+        for name, h in self.registry.histograms.items():
+            prev = self._snap.get(name)
+            if h.count != (prev[1] if prev is not None else 0):
+                return True
+        return False
+
+    def finalize(self, t_end: float | None = None) -> None:
+        """Close the trailing (possibly partial) window (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        end = self._last if t_end is None else max(t_end, self._last)
+        while end >= self._t0 + self.interval:
+            self._close_window(self._t0 + self.interval)
+        if self._has_delta():
+            self._close_window(max(end, self._t0))
+
+    def to_dict(self) -> dict:
+        """JSON-ready view: the interval plus the non-empty window series."""
+        return {"interval": self.interval, "series": list(self.windows)}

@@ -88,8 +88,11 @@ class SpanRecord:
     start: float
     end: float | None = None
     depth: int = 0
-    parent: int | None = None  #: index of the enclosing span, or None
+    parent: int | None = None  #: sid of the enclosing span, or None
     detail: Any = None
+    #: stable id (allocation order; equals the list index under the
+    #: default in-memory sink — dropped spans never consume a sid).
+    sid: int = -1
 
     @property
     def duration(self) -> float:
@@ -144,39 +147,80 @@ _NULL_SPAN = _NullSpan()
 class _OpenSpan:
     """Context manager that closes its span at the rank's current time."""
 
-    __slots__ = ("_rec", "_proc", "_index")
+    __slots__ = ("_rec", "_proc", "_span")
 
-    def __init__(self, rec: "Recorder", proc: "Proc", index: int | None) -> None:
+    def __init__(
+        self, rec: "Recorder", proc: "Proc", span: "SpanRecord | None"
+    ) -> None:
         self._rec = rec
         self._proc = proc
-        self._index = index
+        self._span = span
 
     def __enter__(self) -> "_OpenSpan":
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        self._rec._close(self._proc, self._index)
+        self._rec._close(self._proc, self._span)
         return False
 
 
 class Recorder:
-    """Engine-wide span + metrics recorder (attach-based, off by default)."""
+    """Engine-wide span + metrics recorder (attach-based, off by default).
+
+    Storage is delegated to a :class:`repro.obs.stream.SpanSink`: the
+    default :class:`~repro.obs.stream.MemorySink` keeps the historical
+    in-memory lists (``recorder.spans`` et al. stay list-like views of
+    it), while :class:`~repro.obs.stream.SpillSink` streams completed
+    records to sharded JSONL in constant memory.  Optional side-taps:
+    ``windows`` (a :class:`repro.obs.metrics.RollingWindows`) snapshots
+    windowed histogram percentiles at a virtual-time interval, and
+    ``flight`` (a :class:`repro.obs.flight.FlightRecorder`) keeps a
+    bounded per-rank ring of recent records that is dumped to disk when
+    the engine fails.
+    """
 
     _KEY = _KEY
 
     def __init__(
-        self, engine: "Engine", capacity: int = 2_000_000, edges: bool = True
+        self,
+        engine: "Engine",
+        capacity: int = 2_000_000,
+        edges: bool = True,
+        sink: "Any | None" = None,
+        window: float | None = None,
+        flight: "Any | None" = None,
     ) -> None:
+        from repro.obs.stream import MemorySink  # sibling; cycle-free at call time
+
         self.engine = engine
         self.capacity = capacity
-        self.spans: list[SpanRecord] = []
-        self.instants: list[InstantRecord] = []
-        self.edges: list[EdgeRecord] = []
+        self.sink = sink if sink is not None else MemorySink(capacity)
         self.edges_enabled = edges
-        self.dropped = 0
+        # Per-kind drop accounting (mirrors obs/tracing.py); ``dropped``
+        # stays available as the aggregate.
+        self.dropped_spans = 0
+        self.dropped_instants = 0
+        self.dropped_edges = 0
         self.metrics = MetricsRegistry()
-        # per-rank stacks of open span indexes (None = dropped placeholder)
-        self._stacks: list[list[int | None]] = [[] for _ in range(engine.nprocs)]
+        self.windows = None
+        if window is not None:
+            from repro.obs.metrics import RollingWindows
+
+            self.windows = RollingWindows(self.metrics, window)
+        self.flight = None
+        self._failure_hooked = False
+        if flight is not None:
+            self.set_flight(flight)
+        # Incremental tallies so exports never need the full span stream.
+        self.span_count = 0
+        self.instant_count = 0
+        self.edge_count = 0
+        self.category_counts: dict[str, int] = {}
+        self._finished = False
+        # per-rank stacks of open span records (None = dropped placeholder)
+        self._stacks: list[list[SpanRecord | None]] = [
+            [] for _ in range(engine.nprocs)
+        ]
         # single-slot edge sources: key -> (rank, time, detail)
         self._edge_marks: dict[Any, tuple[int, float, Any]] = {}
         # FIFO edge sources mirroring message queues: key -> deque of sources
@@ -184,12 +228,21 @@ class Recorder:
 
     @classmethod
     def attach(
-        cls, engine: "Engine", capacity: int = 2_000_000, edges: bool = True
+        cls,
+        engine: "Engine",
+        capacity: int = 2_000_000,
+        edges: bool = True,
+        sink: "Any | None" = None,
+        window: float | None = None,
+        flight: "Any | None" = None,
     ) -> "Recorder":
         """Enable recording on ``engine`` (idempotent)."""
         inst = engine.state.get(cls._KEY)
         if inst is None:
-            inst = cls(engine, capacity, edges=edges)
+            inst = cls(
+                engine, capacity, edges=edges, sink=sink, window=window,
+                flight=flight,
+            )
             engine.state[cls._KEY] = inst
         return inst
 
@@ -199,41 +252,107 @@ class Recorder:
         return engine.state.get(cls._KEY)
 
     # ------------------------------------------------------------------ #
+    # Storage views (delegate to the sink)
+    # ------------------------------------------------------------------ #
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Every recorded span in allocation (``sid``) order.
+
+        Under the default :class:`~repro.obs.stream.MemorySink` this is
+        the sink's live list (``sid`` == list index); a spill sink
+        materializes its shards on each access, so prefer the streaming
+        readers for large runs.
+        """
+        return self.sink.span_stream()
+
+    @property
+    def instants(self) -> list[InstantRecord]:
+        return self.sink.instant_stream()
+
+    @property
+    def edges(self) -> list[EdgeRecord]:
+        return self.sink.edge_stream()
+
+    @property
+    def dropped(self) -> int:
+        """Total records refused by the sink (spans + instants + edges)."""
+        return self.dropped_spans + self.dropped_instants + self.dropped_edges
+
+    def set_flight(self, flight: "Any") -> None:
+        """Install a flight recorder and hook it to engine failures."""
+        self.flight = flight
+        hooks = getattr(self.engine, "failure_hooks", None)
+        if flight is not None and hooks is not None and not self._failure_hooked:
+            hooks.append(self._on_failure)
+            self._failure_hooked = True
+
+    def _on_failure(self, exc: BaseException) -> None:
+        if self.flight is not None:
+            self.flight.dump(type(exc).__name__, error=str(exc))
+
+    def finish(self) -> None:
+        """Finalize the recording (idempotent): close the last metrics
+        window and seal the sink's footer index (a no-op for the
+        in-memory sink)."""
+        if self._finished:
+            return
+        self._finished = True
+        if self.windows is not None:
+            self.windows.finalize()
+        self.sink.seal(
+            {
+                "nprocs": self.engine.nprocs,
+                "spans": self.span_count,
+                "instants": self.instant_count,
+                "edges": self.edge_count,
+                "dropped": self.dropped,
+                "dropped_spans": self.dropped_spans,
+                "dropped_instants": self.dropped_instants,
+                "dropped_edges": self.dropped_edges,
+                "category_counts": dict(sorted(self.category_counts.items())),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
     # Span API
     # ------------------------------------------------------------------ #
     def span(self, proc: "Proc", name: str, category: str, detail: Any = None) -> _OpenSpan:
         """Open a span on ``proc``'s rank; close it by exiting the context."""
         stack = self._stacks[proc.rank]
-        if len(self.spans) >= self.capacity:
-            self.dropped += 1
+        if not self.sink.accepts_span():
+            self.dropped_spans += 1
             stack.append(None)
             return _OpenSpan(self, proc, None)
-        parent = next((i for i in reversed(stack) if i is not None), None)
-        index = len(self.spans)
-        self.spans.append(
-            SpanRecord(
-                rank=proc.rank,
-                name=name,
-                category=category,
-                start=proc.now,
-                depth=len(stack),
-                parent=parent,
-                detail=detail,
-            )
+        parent = next((s.sid for s in reversed(stack) if s is not None), None)
+        rec = SpanRecord(
+            rank=proc.rank,
+            name=name,
+            category=category,
+            start=proc.now,
+            depth=len(stack),
+            parent=parent,
+            detail=detail,
+            sid=self.span_count,
         )
-        stack.append(index)
-        return _OpenSpan(self, proc, index)
+        self.span_count += 1
+        self.category_counts[category] = self.category_counts.get(category, 0) + 1
+        self.sink.on_open(rec)
+        stack.append(rec)
+        return _OpenSpan(self, proc, rec)
 
-    def _close(self, proc: "Proc", index: int | None) -> None:
+    def _close(self, proc: "Proc", span: SpanRecord | None) -> None:
         stack = self._stacks[proc.rank]
-        if not stack or stack[-1] != index:  # pragma: no cover - misuse guard
+        if not stack or stack[-1] is not span:  # pragma: no cover - misuse guard
             raise RuntimeError(
                 f"span close out of order on rank {proc.rank}: "
-                f"closing {index}, top of stack is {stack[-1] if stack else None}"
+                f"closing {span}, top of stack is {stack[-1] if stack else None}"
             )
         stack.pop()
-        if index is not None:
-            self.spans[index].end = proc.now
+        if span is not None:
+            span.end = proc.now
+            self.sink.on_close(span)
+            if self.flight is not None:
+                self.flight.record_span(span)
 
     def complete_span(
         self,
@@ -250,30 +369,36 @@ class Recorder:
         completed in a later one) or a contended lock wait.  Recorded at
         depth 0; it still lands on the rank's track in the exports.
         """
-        if len(self.spans) >= self.capacity:
-            self.dropped += 1
+        if not self.sink.accepts_span():
+            self.dropped_spans += 1
             return
-        self.spans.append(
-            SpanRecord(
-                rank=proc.rank,
-                name=name,
-                category=category,
-                start=start,
-                end=proc.now,
-                detail=detail,
-            )
+        rec = SpanRecord(
+            rank=proc.rank,
+            name=name,
+            category=category,
+            start=start,
+            end=proc.now,
+            detail=detail,
+            sid=self.span_count,
         )
+        self.span_count += 1
+        self.category_counts[category] = self.category_counts.get(category, 0) + 1
+        self.sink.on_complete(rec)
+        if self.flight is not None:
+            self.flight.record_span(rec)
 
     def instant_event(
         self, proc: "Proc", name: str, category: str, detail: Any = None
     ) -> None:
         """Record a zero-duration marker at the rank's current time."""
-        if len(self.instants) >= self.capacity:
-            self.dropped += 1
+        if not self.sink.accepts_instant():
+            self.dropped_instants += 1
             return
-        self.instants.append(
-            InstantRecord(proc.now, proc.rank, name, category, detail)
-        )
+        rec = InstantRecord(proc.now, proc.rank, name, category, detail)
+        self.instant_count += 1
+        self.sink.on_instant(rec)
+        if self.flight is not None:
+            self.flight.record_instant(rec)
 
     # ------------------------------------------------------------------ #
     # Causal-edge API (metadata-only; see module docstring)
@@ -288,20 +413,20 @@ class Recorder:
         detail: Any = None,
     ) -> None:
         """Record one happens-before edge with a stable, monotone id."""
-        if len(self.edges) >= self.capacity:
-            self.dropped += 1
+        if not self.sink.accepts_edge():
+            self.dropped_edges += 1
             return
-        self.edges.append(
-            EdgeRecord(
-                eid=len(self.edges),
-                kind=kind,
-                src_rank=src_rank,
-                src_time=src_time,
-                dst_rank=dst_rank,
-                dst_time=dst_time,
-                detail=detail,
-            )
+        rec = EdgeRecord(
+            eid=self.edge_count,
+            kind=kind,
+            src_rank=src_rank,
+            src_time=src_time,
+            dst_rank=dst_rank,
+            dst_time=dst_time,
+            detail=detail,
         )
+        self.edge_count += 1
+        self.sink.on_edge(rec)
 
     def mark(self, key: Any, proc: "Proc", detail: Any = None) -> None:
         """Remember ``proc``'s current point as the source for ``key``."""
@@ -388,6 +513,8 @@ def observe(proc: "Proc", name: str, value: float) -> None:
     """Observe ``value`` into histogram ``name`` (no-op when off)."""
     rec = proc.engine.state.get(_KEY)
     if rec is not None:
+        if rec.windows is not None:
+            rec.windows.roll(proc.now)
         rec.metrics.observe(name, value, rank=proc.rank)
 
 
@@ -395,6 +522,8 @@ def count(proc: "Proc", name: str, amount: float = 1.0) -> None:
     """Increment obs counter ``name`` for ``proc``'s rank (no-op when off)."""
     rec = proc.engine.state.get(_KEY)
     if rec is not None:
+        if rec.windows is not None:
+            rec.windows.roll(proc.now)
         rec.metrics.add(proc.rank, name, amount)
 
 
@@ -402,6 +531,8 @@ def sample(proc: "Proc", name: str, value: float) -> None:
     """Set gauge ``name`` on ``proc``'s rank to ``value`` (no-op when off)."""
     rec = proc.engine.state.get(_KEY)
     if rec is not None:
+        if rec.windows is not None:
+            rec.windows.roll(proc.now)
         rec.metrics.sample(name, proc.rank, value)
 
 

@@ -67,19 +67,29 @@ def fingerprint(run: ObsRun) -> dict:
 
 
 def _attach(
-    engine: Engine, record: bool, events: bool, edges: bool = True
+    engine: Engine,
+    record: bool,
+    events: bool,
+    edges: bool = True,
+    sink: Any | None = None,
+    window: float | None = None,
+    flight: Any | None = None,
 ) -> tuple[Recorder | None, Tracer | None]:
-    rec = Recorder.attach(engine, edges=edges) if record else None
+    rec = (
+        Recorder.attach(engine, edges=edges, sink=sink, window=window, flight=flight)
+        if record
+        else None
+    )
     trc = Tracer.attach(engine) if record and events else None
     return rec, trc
 
 
 def _run_check(
-    name: str, seed: int, record: bool, events: bool, edges: bool = True
+    name: str, seed: int, record: bool, events: bool, edges: bool = True, **obs: Any
 ) -> ObsRun:
     scenario = make_scenario(name)
     engine = Engine(scenario.nprocs, seed=seed, max_events=scenario.max_events)
-    rec, trc = _attach(engine, record, events, edges)
+    rec, trc = _attach(engine, record, events, edges, **obs)
     scenario.build(engine)
     result = engine.run()
     return ObsRun(
@@ -94,13 +104,13 @@ def _run_check(
 
 def _run_uts(
     preset_name: str, nprocs: int, seed: int, record: bool, events: bool,
-    edges: bool = True,
+    edges: bool = True, **obs: Any,
 ) -> ObsRun:
     captured: list[Engine] = []
 
     def hook(engine: Engine) -> None:
         captured.append(engine)
-        _attach(engine, record, events, edges)
+        _attach(engine, record, events, edges, **obs)
 
     r = run_uts_scioto(nprocs, preset(preset_name), seed=seed, engine_hook=hook)
     engine = captured[0]
@@ -117,13 +127,14 @@ def _run_uts(
 
 
 def _run_scf(
-    nprocs: int, seed: int, record: bool, events: bool, edges: bool = True
+    nprocs: int, seed: int, record: bool, events: bool, edges: bool = True,
+    **obs: Any,
 ) -> ObsRun:
     captured: list[Engine] = []
 
     def hook(engine: Engine) -> None:
         captured.append(engine)
-        _attach(engine, record, events, edges)
+        _attach(engine, record, events, edges, **obs)
 
     problem = SCFProblem(nblocks=8, blocksize=4, decay=0.9)
     r = run_scf_scioto(nprocs, problem, iterations=2, seed=seed, engine_hook=hook)
@@ -140,13 +151,14 @@ def _run_scf(
 
 
 def _run_tce(
-    nprocs: int, seed: int, record: bool, events: bool, edges: bool = True
+    nprocs: int, seed: int, record: bool, events: bool, edges: bool = True,
+    **obs: Any,
 ) -> ObsRun:
     captured: list[Engine] = []
 
     def hook(engine: Engine) -> None:
         captured.append(engine)
-        _attach(engine, record, events, edges)
+        _attach(engine, record, events, edges, **obs)
 
     problem = TCEProblem(nblocks=6, blocksize=8, density=0.4, seed=3)
     r = run_tce_scioto(nprocs, problem, seed=seed, engine_hook=hook)
@@ -166,14 +178,14 @@ def _target_table() -> dict[str, Callable[..., ObsRun]]:
     table: dict[str, Callable[..., ObsRun]] = {}
     for name in CHECK_SCENARIOS:
         table[name] = (
-            lambda nprocs, seed, record, events, edges=True, _n=name: _run_check(
-                _n, seed, record, events, edges
+            lambda nprocs, seed, record, events, edges=True, _n=name, **obs: (
+                _run_check(_n, seed, record, events, edges, **obs)
             )
         )
     for p in PRESETS:
         table[f"uts-{p}"] = (
-            lambda nprocs, seed, record, events, edges=True, _p=p: _run_uts(
-                _p, nprocs, seed, record, events, edges
+            lambda nprocs, seed, record, events, edges=True, _p=p, **obs: (
+                _run_uts(_p, nprocs, seed, record, events, edges, **obs)
             )
         )
     table["scf"] = _run_scf
@@ -192,6 +204,11 @@ def run_target(
     record: bool = True,
     events: bool = True,
     edges: bool = True,
+    stream_dir: Any | None = None,
+    shard_size: int | None = None,
+    window: float | None = None,
+    flight: Any | None = None,
+    sink: Any | None = None,
 ) -> ObsRun:
     """Run target ``name`` and return its :class:`ObsRun`.
 
@@ -201,6 +218,12 @@ def run_target(
     baseline the determinism check compares against.  ``edges=False``
     records spans but not causal edges (the other half of the
     determinism check: edges must be metadata-only).
+
+    Streaming options: ``stream_dir`` records through a constant-memory
+    :class:`~repro.obs.stream.SpillSink` spilling sharded JSONL there
+    (sealed with a footer index when the run finishes); ``window``
+    enables rolling metrics windows at that virtual-time interval; and
+    ``flight`` installs a :class:`~repro.obs.flight.FlightRecorder`.
     """
     try:
         runner = TARGETS[name]
@@ -208,4 +231,16 @@ def run_target(
         raise ValueError(
             f"unknown obs target {name!r}; choose from {sorted(TARGETS)}"
         ) from None
-    return runner(nprocs, seed, record, events, edges)
+    if stream_dir is not None:
+        if sink is not None:
+            raise ValueError("pass either stream_dir or sink, not both")
+        from repro.obs.stream import DEFAULT_SHARD_SIZE, SpillSink
+
+        sink = SpillSink(stream_dir, shard_size=shard_size or DEFAULT_SHARD_SIZE)
+    run = runner(
+        nprocs, seed, record, events, edges, sink=sink, window=window,
+        flight=flight,
+    )
+    if run.recorder is not None:
+        run.recorder.finish()
+    return run

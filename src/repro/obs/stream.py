@@ -1,0 +1,653 @@
+"""Streaming span sinks: bounded-memory spill, sharded JSONL, trace pack.
+
+The :class:`~repro.obs.record.Recorder` does not own its storage any
+more — it pushes records into a :class:`SpanSink`:
+
+* :class:`MemorySink` (the default) is the historical in-memory list
+  behaviour, bit-for-bit: spans are appended at *open* time (so list
+  index equals the span's stable ``sid``), instants and edges append in
+  emission order, and the ``capacity`` bound drops-and-counts exactly
+  as before.
+* :class:`SpillSink` holds **no** completed records in memory: it
+  buffers up to ``shard_size`` records and flushes them as sharded
+  JSONL files (``spans-00000.jsonl`` …) in a spill directory, written
+  atomically via :func:`repro.util.io.atomic_write_text`.  A footer
+  ``index.json`` (schema :data:`STREAM_SCHEMA`) is sealed at the end of
+  the run.  Recorder memory is bounded by the open-span stacks plus one
+  shard buffer, independent of run length — this is what lets a
+  million-event run be recorded at all (ROADMAP item 3).
+* :class:`NullSink` stores nothing; it exists so the flight recorder
+  (:mod:`repro.obs.flight`) can tap the completed-span stream without
+  any retention.
+
+Span shards are written **pre-sorted by the Chrome-trace event order**
+``(tid, ts, -dur, sid)``, so :func:`pack` can produce a byte-identical
+Chrome ``trace_event`` JSON with a constant-memory k-way merge over the
+shard files — the packed bytes equal what
+:func:`repro.obs.export.write_chrome_trace` writes for the same run
+recorded in memory (tested on every check scenario).  Instants and
+edges are order-preserving streams, so their shards concatenate.
+
+:func:`merge_spills` generalizes :func:`pack` to fleet-wide trace
+aggregation: each worker's spill directory becomes its own Perfetto
+*process* (``pid`` = worker id) in one merged trace, with flow-arrow
+ids offset so cross-rank arrows never collide between workers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Any, Iterable, Iterator
+
+from repro.obs.record import EdgeRecord, InstantRecord, SpanRecord
+from repro.util.io import atomic_write_text
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "SpanSink",
+    "MemorySink",
+    "SpillSink",
+    "NullSink",
+    "TeeSink",
+    "SpillReader",
+    "pack",
+    "merge_spills",
+]
+
+#: Schema tag sealed into every spill directory's ``index.json``.
+STREAM_SCHEMA = "repro-obs-stream/1"
+
+#: Default records per shard file.  Bounds both the sink's buffer and
+#: the per-shard sort cost; 32k span records is ~4 MB of JSONL.
+DEFAULT_SHARD_SIZE = 32_768
+
+
+def _span_sort_key(span: SpanRecord) -> tuple:
+    """The Chrome-trace global span order: ``(tid, ts, -dur, sid)``.
+
+    Computed with the exact float expressions the exporter uses for
+    ``ts``/``dur``, so the shard merge reproduces the in-memory stable
+    sort (which is sid-ordered input under key ``(tid, ts, -dur)``).
+    """
+    return (
+        span.rank,
+        span.start * 1e6,
+        -(span.duration * 1e6),
+        span.sid,
+    )
+
+
+class SpanSink:
+    """Protocol for recorder storage; subclasses override what they keep.
+
+    The recorder calls ``on_open`` when a span begins, ``on_close`` when
+    it completes (``end`` is set), ``on_complete`` for out-of-stack
+    completed spans, and ``on_instant``/``on_edge`` for the other record
+    kinds.  ``accepts_*`` lets a bounded sink refuse a record *before*
+    the recorder allocates it (the refusal is counted as a drop).
+    """
+
+    def accepts_span(self) -> bool:
+        return True
+
+    def accepts_instant(self) -> bool:
+        return True
+
+    def accepts_edge(self) -> bool:
+        return True
+
+    def on_open(self, span: SpanRecord) -> None:
+        pass
+
+    def on_close(self, span: SpanRecord) -> None:
+        pass
+
+    def on_complete(self, span: SpanRecord) -> None:
+        pass
+
+    def on_instant(self, inst: InstantRecord) -> None:
+        pass
+
+    def on_edge(self, edge: EdgeRecord) -> None:
+        pass
+
+    def seal(self, footer: dict) -> None:
+        """Finish the stream (flush buffers, write the footer index)."""
+
+    # -- full-stream reads (fingerprints, small-run analysis) ----------- #
+    def span_stream(self) -> list[SpanRecord]:
+        """Every recorded span in ``sid`` (emission) order."""
+        raise NotImplementedError
+
+    def instant_stream(self) -> list[InstantRecord]:
+        raise NotImplementedError
+
+    def edge_stream(self) -> list[EdgeRecord]:
+        raise NotImplementedError
+
+
+class MemorySink(SpanSink):
+    """The historical in-memory storage: plain lists, capacity-bounded."""
+
+    def __init__(self, capacity: int = 2_000_000) -> None:
+        self.capacity = capacity
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        self.edges: list[EdgeRecord] = []
+
+    def accepts_span(self) -> bool:
+        return len(self.spans) < self.capacity
+
+    def accepts_instant(self) -> bool:
+        return len(self.instants) < self.capacity
+
+    def accepts_edge(self) -> bool:
+        return len(self.edges) < self.capacity
+
+    def on_open(self, span: SpanRecord) -> None:
+        # Appending at open keeps list index == sid, which is what makes
+        # ``parent`` usable as an index into ``Recorder.spans``.
+        self.spans.append(span)
+
+    def on_complete(self, span: SpanRecord) -> None:
+        self.spans.append(span)
+
+    def on_instant(self, inst: InstantRecord) -> None:
+        self.instants.append(inst)
+
+    def on_edge(self, edge: EdgeRecord) -> None:
+        self.edges.append(edge)
+
+    def span_stream(self) -> list[SpanRecord]:
+        return self.spans
+
+    def instant_stream(self) -> list[InstantRecord]:
+        return self.instants
+
+    def edge_stream(self) -> list[EdgeRecord]:
+        return self.edges
+
+
+class NullSink(SpanSink):
+    """Keeps nothing.  Used when only side-taps (flight rings) matter."""
+
+    def span_stream(self) -> list[SpanRecord]:
+        return []
+
+    def instant_stream(self) -> list[InstantRecord]:
+        return []
+
+    def edge_stream(self) -> list[EdgeRecord]:
+        return []
+
+
+class TeeSink(SpanSink):
+    """Duplicates one recording into several sinks.
+
+    A record is accepted only if *every* child accepts it, so the drop
+    decision (and the recorder's sid allocation) is shared — each child
+    sees the exact same stream.  Reads delegate to the first child.
+    The equivalence tests use this to record one run into a
+    :class:`MemorySink` and a :class:`SpillSink` simultaneously, which
+    is the only way to compare the two paths byte-for-byte (two
+    *separate* runs differ in task uids carried in span details).
+    """
+
+    def __init__(self, *sinks: SpanSink) -> None:
+        if not sinks:
+            raise ValueError("TeeSink needs at least one child sink")
+        self.sinks = sinks
+
+    def accepts_span(self) -> bool:
+        return all(s.accepts_span() for s in self.sinks)
+
+    def accepts_instant(self) -> bool:
+        return all(s.accepts_instant() for s in self.sinks)
+
+    def accepts_edge(self) -> bool:
+        return all(s.accepts_edge() for s in self.sinks)
+
+    def on_open(self, span: SpanRecord) -> None:
+        for s in self.sinks:
+            s.on_open(span)
+
+    def on_close(self, span: SpanRecord) -> None:
+        for s in self.sinks:
+            s.on_close(span)
+
+    def on_complete(self, span: SpanRecord) -> None:
+        for s in self.sinks:
+            s.on_complete(span)
+
+    def on_instant(self, inst: InstantRecord) -> None:
+        for s in self.sinks:
+            s.on_instant(inst)
+
+    def on_edge(self, edge: EdgeRecord) -> None:
+        for s in self.sinks:
+            s.on_edge(edge)
+
+    def seal(self, footer: dict) -> None:
+        for s in self.sinks:
+            s.seal(footer)
+
+    def span_stream(self) -> list[SpanRecord]:
+        return self.sinks[0].span_stream()
+
+    def instant_stream(self) -> list[InstantRecord]:
+        return self.sinks[0].instant_stream()
+
+    def edge_stream(self) -> list[EdgeRecord]:
+        return self.sinks[0].edge_stream()
+
+
+def _span_line(span: SpanRecord) -> str:
+    return json.dumps(
+        [
+            span.sid,
+            span.rank,
+            span.name,
+            span.category,
+            span.start,
+            span.end,
+            span.depth,
+            span.parent,
+            None if span.detail is None else str(span.detail),
+        ]
+    )
+
+
+def _instant_line(inst: InstantRecord) -> str:
+    return json.dumps(
+        [
+            inst.time,
+            inst.rank,
+            inst.name,
+            inst.category,
+            None if inst.detail is None else str(inst.detail),
+        ]
+    )
+
+
+def _edge_line(edge: EdgeRecord) -> str:
+    return json.dumps(
+        [
+            edge.eid,
+            edge.kind,
+            edge.src_rank,
+            edge.src_time,
+            edge.dst_rank,
+            edge.dst_time,
+            None if edge.detail is None else str(edge.detail),
+        ]
+    )
+
+
+def _span_from_line(fields: list) -> SpanRecord:
+    sid, rank, name, category, start, end, depth, parent, detail = fields
+    return SpanRecord(
+        rank=rank,
+        name=name,
+        category=category,
+        start=start,
+        end=end,
+        depth=depth,
+        parent=parent,
+        detail=detail,
+        sid=sid,
+    )
+
+
+def _instant_from_line(fields: list) -> InstantRecord:
+    time, rank, name, category, detail = fields
+    return InstantRecord(time, rank, name, category, detail)
+
+
+def _edge_from_line(fields: list) -> EdgeRecord:
+    eid, kind, src_rank, src_time, dst_rank, dst_time, detail = fields
+    return EdgeRecord(eid, kind, src_rank, src_time, dst_rank, dst_time, detail)
+
+
+class SpillSink(SpanSink):
+    """Constant-memory sink: sharded JSONL spill under one directory.
+
+    Completed records buffer up to ``shard_size`` and flush as one
+    atomically written shard file.  Span shards are sorted by
+    :func:`_span_sort_key` before writing so :func:`pack` can k-way
+    merge them without materializing the run; instant/edge shards
+    preserve emission order.  Detail payloads are stringified exactly
+    the way the Chrome exporter would (``str(detail)``).
+    """
+
+    def __init__(
+        self, directory: str | Path, shard_size: int = DEFAULT_SHARD_SIZE
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_size = shard_size
+        self._bufs: dict[str, list] = {"spans": [], "instants": [], "edges": []}
+        self.shards: dict[str, list[dict]] = {"spans": [], "instants": [], "edges": []}
+        self.sealed = False
+
+    # -- recorder interface -------------------------------------------- #
+    def on_close(self, span: SpanRecord) -> None:
+        self._push("spans", span)
+
+    def on_complete(self, span: SpanRecord) -> None:
+        self._push("spans", span)
+
+    def on_instant(self, inst: InstantRecord) -> None:
+        self._push("instants", inst)
+
+    def on_edge(self, edge: EdgeRecord) -> None:
+        self._push("edges", edge)
+
+    def _push(self, kind: str, record) -> None:
+        buf = self._bufs[kind]
+        buf.append(record)
+        if len(buf) >= self.shard_size:
+            self._flush(kind)
+
+    def _flush(self, kind: str) -> None:
+        buf = self._bufs[kind]
+        if not buf:
+            return
+        if kind == "spans":
+            buf.sort(key=_span_sort_key)
+            lines = [_span_line(s) for s in buf]
+        elif kind == "instants":
+            lines = [_instant_line(i) for i in buf]
+        else:
+            lines = [_edge_line(e) for e in buf]
+        name = f"{kind}-{len(self.shards[kind]):05d}.jsonl"
+        atomic_write_text(self.directory / name, "\n".join(lines) + "\n")
+        self.shards[kind].append({"file": name, "count": len(buf)})
+        buf.clear()
+
+    def flush(self) -> None:
+        """Flush every pending buffer to shard files."""
+        for kind in ("spans", "instants", "edges"):
+            self._flush(kind)
+
+    def seal(self, footer: dict) -> None:
+        """Write the footer ``index.json`` (idempotent; atomic)."""
+        self.flush()
+        doc = {
+            "schema": STREAM_SCHEMA,
+            **footer,
+            "shards": self.shards,
+        }
+        atomic_write_text(self.directory / "index.json", json.dumps(doc, indent=2))
+        self.sealed = True
+
+    # -- full-stream reads --------------------------------------------- #
+    def _reader(self) -> "SpillReader":
+        self.flush()
+        return SpillReader(self.directory, index=None, shards=self.shards)
+
+    def span_stream(self) -> list[SpanRecord]:
+        spans = list(self._reader().iter_spans())
+        spans.sort(key=lambda s: s.sid)
+        return spans
+
+    def instant_stream(self) -> list[InstantRecord]:
+        return list(self._reader().iter_instants())
+
+    def edge_stream(self) -> list[EdgeRecord]:
+        return list(self._reader().iter_edges())
+
+
+class SpillReader:
+    """Read-side of a spill directory (sealed or mid-write)."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        index: dict | None = None,
+        shards: dict | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        if index is None and shards is None:
+            index_path = self.directory / "index.json"
+            if not index_path.exists():
+                raise FileNotFoundError(
+                    f"{self.directory} holds no index.json; not a sealed "
+                    f"spill directory (schema {STREAM_SCHEMA})"
+                )
+            index = json.loads(index_path.read_text())
+            if index.get("schema") != STREAM_SCHEMA:
+                raise ValueError(
+                    f"{index_path}: unsupported spill schema "
+                    f"{index.get('schema')!r}; expected {STREAM_SCHEMA}"
+                )
+        self.index = index or {}
+        self.shards = shards if shards is not None else self.index["shards"]
+
+    @property
+    def nprocs(self) -> int:
+        return int(self.index.get("nprocs", 0))
+
+    def _iter_shard(self, kind: str, shard: dict) -> Iterator[list]:
+        with open(self.directory / shard["file"], "r") as fh:
+            for line in fh:
+                if line.strip():
+                    yield json.loads(line)
+
+    def iter_spans_merged(self) -> Iterator[SpanRecord]:
+        """All spans in Chrome-trace order: k-way merge of sorted shards."""
+        streams = [
+            map(_span_from_line, self._iter_shard("spans", sh))
+            for sh in self.shards["spans"]
+        ]
+        return heapq.merge(*streams, key=_span_sort_key)
+
+    def iter_spans(self) -> Iterator[SpanRecord]:
+        """All spans, shard order (use ``sorted(..., key=sid)`` for stream order)."""
+        for sh in self.shards["spans"]:
+            yield from map(_span_from_line, self._iter_shard("spans", sh))
+
+    def iter_instants(self) -> Iterator[InstantRecord]:
+        for sh in self.shards["instants"]:
+            yield from map(_instant_from_line, self._iter_shard("instants", sh))
+
+    def iter_edges(self) -> Iterator[EdgeRecord]:
+        for sh in self.shards["edges"]:
+            yield from map(_edge_from_line, self._iter_shard("edges", sh))
+
+    def load(self) -> tuple[list[SpanRecord], list[InstantRecord], list[EdgeRecord]]:
+        """Materialize the full stream (for small-run analysis/verify)."""
+        spans = sorted(self.iter_spans(), key=lambda s: s.sid)
+        return spans, list(self.iter_instants()), list(self.iter_edges())
+
+
+# ---------------------------------------------------------------------- #
+# Streaming pack: spill directory -> Chrome trace JSON, constant memory
+# ---------------------------------------------------------------------- #
+class _EventWriter:
+    """Writes a Chrome ``trace_event`` JSON byte-identically to
+    ``json.dumps({"traceEvents": [...], ...})`` without holding the
+    event list in memory."""
+
+    def __init__(self, fh: IO[str]) -> None:
+        self._fh = fh
+        self._first = True
+        self._fh.write('{"traceEvents": [')
+
+    def event(self, ev: dict) -> None:
+        if not self._first:
+            self._fh.write(", ")
+        self._first = False
+        self._fh.write(json.dumps(ev))
+
+    def finish(self, trailer: dict) -> None:
+        """Close the event array and append the remaining document keys."""
+        self._fh.write("]")
+        for key, value in trailer.items():
+            self._fh.write(f", {json.dumps(key)}: {json.dumps(value)}")
+        self._fh.write("}")
+
+
+def _atomic_stream(path: Path):
+    """(fd-backed file handle, publish callable) for atomic streaming."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    fh = os.fdopen(fd, "w")
+
+    def publish() -> None:
+        fh.close()
+        os.replace(tmp_name, path)
+
+    def discard() -> None:
+        try:
+            fh.close()
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    return fh, publish, discard
+
+
+def pack(
+    spill_dir: str | Path,
+    out_path: str | Path,
+    flow_kinds: tuple[str, ...] | None = None,
+) -> Path:
+    """Convert a sealed spill directory into a Chrome trace JSON.
+
+    Streams shard files straight into the output (constant memory) and
+    produces bytes identical to
+    :func:`repro.obs.export.write_chrome_trace` over the same run
+    recorded with a :class:`MemorySink` (without a tracer or critical
+    path attached).  The output is published atomically.
+    """
+    # Imported here: export imports record, stream must stay importable
+    # from record's siblings without a cycle.
+    from repro.obs.export import (
+        FLOW_KINDS,
+        flow_event_pair,
+        instant_event,
+        meta_events,
+        span_event,
+    )
+
+    if flow_kinds is None:
+        flow_kinds = FLOW_KINDS
+    reader = SpillReader(spill_dir)
+    out_path = Path(out_path)
+    fh, publish, discard = _atomic_stream(out_path)
+    try:
+        w = _EventWriter(fh)
+        for ev in meta_events(reader.nprocs):
+            w.event(ev)
+        for span in reader.iter_spans_merged():
+            if span.end is None:
+                continue
+            w.event(span_event(span))
+        for inst in reader.iter_instants():
+            w.event(instant_event(inst))
+        flows = 0
+        for edge in reader.iter_edges():
+            if edge.kind not in flow_kinds:
+                continue
+            flows += 1
+            s_ev, f_ev = flow_event_pair(edge)
+            w.event(s_ev)
+            w.event(f_ev)
+        w.finish(
+            {
+                "displayTimeUnit": "ns",
+                "otherData": {
+                    "source": "repro.obs",
+                    "spans_recorded": reader.index.get("spans", 0),
+                    "spans_dropped": reader.index.get("dropped", 0),
+                    "edges_recorded": reader.index.get("edges", 0),
+                    "flow_events": flows,
+                },
+            }
+        )
+        publish()
+    except BaseException:
+        discard()
+        raise
+    return out_path
+
+
+def merge_spills(
+    items: Iterable[tuple[int, str, str | Path]],
+    out_path: str | Path,
+    flow_kinds: tuple[str, ...] | None = None,
+) -> Path:
+    """Merge several spill directories into one fleet-wide Chrome trace.
+
+    Args:
+        items: ``(pid, label, spill_dir)`` triples — each spill becomes
+            its own Perfetto process (one track per simulated rank
+            inside it), named ``label``.
+        out_path: Merged trace destination (written atomically).
+        flow_kinds: Causal-edge kinds drawn as flow arrows.
+
+    Flow-arrow ids are offset per process so arrows from different
+    workers never alias.  Streams shard files; memory stays constant in
+    total event count.
+    """
+    from repro.obs.export import (
+        FLOW_KINDS,
+        flow_event_pair,
+        instant_event,
+        meta_events,
+        span_event,
+    )
+
+    if flow_kinds is None:
+        flow_kinds = FLOW_KINDS
+    out_path = Path(out_path)
+    fh, publish, discard = _atomic_stream(out_path)
+    totals = {"spans": 0, "edges": 0, "dropped": 0, "flow_events": 0, "processes": 0}
+    try:
+        w = _EventWriter(fh)
+        eid_base = 0
+        for pid, label, spill_dir in items:
+            reader = SpillReader(spill_dir)
+            totals["processes"] += 1
+            totals["spans"] += int(reader.index.get("spans", 0))
+            totals["edges"] += int(reader.index.get("edges", 0))
+            totals["dropped"] += int(reader.index.get("dropped", 0))
+            for ev in meta_events(reader.nprocs, pid=pid, process=label):
+                w.event(ev)
+            for span in reader.iter_spans_merged():
+                if span.end is None:
+                    continue
+                w.event(span_event(span, pid=pid))
+            for inst in reader.iter_instants():
+                w.event(instant_event(inst, pid=pid))
+            max_eid = -1
+            for edge in reader.iter_edges():
+                max_eid = max(max_eid, edge.eid)
+                if edge.kind not in flow_kinds:
+                    continue
+                totals["flow_events"] += 1
+                s_ev, f_ev = flow_event_pair(edge, pid=pid, eid_offset=eid_base)
+                w.event(s_ev)
+                w.event(f_ev)
+            eid_base += max_eid + 1
+        w.finish(
+            {
+                "displayTimeUnit": "ns",
+                "otherData": {"source": "repro.fleet trace", **totals},
+            }
+        )
+        publish()
+    except BaseException:
+        discard()
+        raise
+    return out_path

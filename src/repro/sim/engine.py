@@ -384,6 +384,9 @@ class Engine:
         self._limits = max_events is not None or max_time is not None
         # Global shared-state namespace used by comm layers (keyed by layer).
         self.state: dict[str, Any] = {}
+        # Called with the failure just before run() re-raises it —
+        # observers (e.g. the obs flight recorder) dump state here.
+        self.failure_hooks: list[Callable[[BaseException], None]] = []
         self._mains: list[tuple[Callable[..., Any], tuple[Any, ...]] | None] = [None] * nprocs
 
     # ------------------------------------------------------------------ #
@@ -618,6 +621,11 @@ class Engine:
             # engine context only on completion or failure.
             self._dispatch(None)
             if self._failure is not None:
+                for hook in self.failure_hooks:
+                    try:
+                        hook(self._failure)
+                    except Exception:  # noqa: BLE001 - a dump must never mask the failure
+                        pass
                 raise self._failure
         finally:
             self._teardown()
