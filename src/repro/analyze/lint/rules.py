@@ -150,7 +150,8 @@ def rpr001(tree: ast.Module, source: str):
         acquires = [
             c.lineno
             for c in _calls(_own_statements(fn))
-            if isinstance(c.func, ast.Attribute) and c.func.attr == "acquire"
+            if isinstance(c.func, ast.Attribute)
+            and c.func.attr in ("acquire", "co_acquire")
         ]
         for line in muts:
             if not any(a <= line for a in acquires):
@@ -407,7 +408,7 @@ def rpr006(tree: ast.Module, source: str):
             c
             for c in _calls(_own_statements(fn))
             if isinstance(c.func, ast.Attribute)
-            and c.func.attr in ("acquire", "release")
+            and c.func.attr in ("acquire", "release", "co_acquire", "co_release")
         ]
         calls.sort(key=lambda c: (c.lineno, c.col_offset))
         held: list[str] = []
@@ -415,7 +416,7 @@ def rpr006(tree: ast.Module, source: str):
             name = _lock_receiver(c)
             if not name:
                 continue
-            if c.func.attr == "acquire":
+            if c.func.attr in ("acquire", "co_acquire"):
                 for outer in held:
                     if outer != name:
                         edges.setdefault((outer, name), c.lineno)

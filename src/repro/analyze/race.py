@@ -179,6 +179,7 @@ class RaceDetector:
         if inst is None:
             inst = cls(engine, capture=capture)
             engine.state[cls._KEY] = inst
+            engine.note_observer()
         elif capture and inst.capture is None:
             inst.capture = TraceCapture(engine)
         return inst

@@ -57,8 +57,8 @@ def _block_box(problem: SCFProblem, i: int, j: int) -> tuple[tuple[int, int], tu
     return (si.start, sj.start), (si.stop, sj.stop)
 
 
-def _execute_pair(proc, problem: SCFProblem, d_ga: GlobalArray, f_ga: GlobalArray,
-                  i: int, j: int) -> None:
+def _co_execute_pair(proc, problem: SCFProblem, d_ga: GlobalArray, f_ga: GlobalArray,
+                     i: int, j: int):
     """Shared task body: screen, read D blocks, compute, store F block."""
     m = proc.machine
     proc.compute(problem.task_flops(i, j) * m.seconds_per_flop)
@@ -66,10 +66,10 @@ def _execute_pair(proc, problem: SCFProblem, d_ga: GlobalArray, f_ga: GlobalArra
         return
     lo_ij, hi_ij = _block_box(problem, i, j)
     lo_ji, hi_ji = _block_box(problem, j, i)
-    d_ij = d_ga.get(proc, lo_ij, hi_ij)
-    d_ji = d_ga.get(proc, lo_ji, hi_ji)
+    d_ij = yield from d_ga.co_get(proc, lo_ij, hi_ij)
+    d_ji = yield from d_ga.co_get(proc, lo_ji, hi_ji)
     f_blk = problem.fock_block(i, j, d_ij, d_ji)
-    f_ga.put(proc, lo_ij, hi_ij, f_blk)
+    yield from f_ga.co_put(proc, lo_ij, hi_ij, f_blk)
 
 
 def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
@@ -77,12 +77,12 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
     armci = Armci.attach(proc.engine)
     m = proc.machine
     nbf = problem.nbf
-    d_ga = GlobalArray.create(proc, "D", (nbf, nbf))
-    f_ga = GlobalArray.create(proc, "F", (nbf, nbf))
+    d_ga = yield from GlobalArray.co_create(proc, "D", (nbf, nbf))
+    f_ga = yield from GlobalArray.co_create(proc, "F", (nbf, nbf))
 
     # Scheduler setup (collective, once)
     if mode == "scioto":
-        tc = TaskCollection.create(
+        tc = yield from TaskCollection.co_create(
             proc, task_size=_SCF_TASK_BYTES,
             max_tasks=problem.nblocks * problem.nblocks + 8,
             config=config or SciotoConfig(),
@@ -90,12 +90,12 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
 
         def fock_task(tc_, task):
             i, j = task.body
-            _execute_pair(tc_.proc, problem, d_ga, f_ga, i, j)
+            yield from _co_execute_pair(tc_.proc, problem, d_ga, f_ga, i, j)
 
         h = tc.register(fock_task)
     else:
-        sched = GlobalCounterScheduler(
-            proc, lambda p, pair: _execute_pair(p, problem, d_ga, f_ga, *pair)
+        sched = yield from GlobalCounterScheduler.co_create(
+            proc, lambda p, pair: _co_execute_pair(p, problem, d_ga, f_ga, *pair)
         )
         task_list = problem.all_pairs()  # replicated, screened pairs included
 
@@ -103,7 +103,7 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
     (plo, phi) = d_ga.distribution(proc.rank)
     d0 = problem.initial_density()
     d_ga.access(proc)[...] = d0[tuple(slice(l, h) for l, h in zip(plo, phi))]
-    d_ga.sync(proc)
+    yield from d_ga.co_sync(proc)
 
     energies: list[float] = []
     fock_time = 0.0
@@ -113,7 +113,7 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
         # F starts as the core Hamiltonian (covers screened blocks).
         f_ga.access(proc)[...] = h_full[tuple(slice(l, h) for l, h in zip(plo, phi))]
         proc.advance(m.local_copy_time(f_ga.access(proc).nbytes))
-        f_ga.sync(proc)
+        yield from f_ga.co_sync(proc)
         t0 = proc.now
         if mode == "scioto":
             proc.advance(_PAIR_SCAN_COST * problem.nblocks * problem.nblocks)
@@ -123,20 +123,22 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
                         continue
                     lo, _ = _block_box(problem, i, j)
                     if f_ga.locate(lo) == proc.rank:
-                        tc.add(Task(callback=h, body=(i, j)), affinity=AFFINITY_HIGH)
-            tc.process()
+                        yield from tc.co_add(
+                            Task(callback=h, body=(i, j)), affinity=AFFINITY_HIGH
+                        )
+            yield from tc.co_process()
         else:
             proc.advance(_PAIR_SCAN_COST * len(task_list))
-            sched.counter.reset(proc)
-            sched.run(task_list)
-        f_ga.sync(proc)
+            yield from sched.counter.co_reset(proc)
+            yield from sched.co_run(task_list)
+        yield from f_ga.co_sync(proc)
         fock_time += proc.now - t0
         # Replicated update: gather F, diagonalize, damp D, store own patch.
-        f_full = f_ga.read_full(proc)
-        d_old = d_ga.read_full(proc)
+        f_full = yield from f_ga.co_read_full(proc)
+        d_old = yield from d_ga.co_read_full(proc)
         # sync before anyone overwrites D: every rank must finish reading
         # the old density first (GA codes put a ga_sync here)
-        d_ga.sync(proc)
+        yield from d_ga.co_sync(proc)
         energies.append(problem.energy(f_full, d_old))
         if (
             convergence is not None
@@ -151,9 +153,9 @@ def _scf_main(proc, problem: SCFProblem, iterations: int, mode: str,
         proc.compute(problem.diag_flops() * m.seconds_per_flop / proc.nprocs)
         d_new = problem.next_density(f_full, d_old)
         d_ga.access(proc)[...] = d_new[tuple(slice(l, h) for l, h in zip(plo, phi))]
-        d_ga.sync(proc)
-    elapsed = armci.allreduce(proc, proc.now - t_start, max)
-    fock_time = armci.allreduce(proc, fock_time, max)
+        yield from d_ga.co_sync(proc)
+    elapsed = yield from armci.co_allreduce(proc, proc.now - t_start, max)
+    fock_time = yield from armci.co_allreduce(proc, fock_time, max)
     return (energies, elapsed, fock_time)
 
 

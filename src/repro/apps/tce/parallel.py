@@ -54,17 +54,17 @@ def _block_box(problem: TCEProblem, i: int, j: int):
     return (i * b, j * b), ((i + 1) * b, (j + 1) * b)
 
 
-def _execute_triple(proc, problem: TCEProblem, a_ga, b_ga, c_ga,
-                    i: int, j: int, k: int) -> None:
+def _co_execute_triple(proc, problem: TCEProblem, a_ga, b_ga, c_ga,
+                       i: int, j: int, k: int):
     """Shared task body: fetch blocks, GEMM, accumulate into C."""
     m = proc.machine
     lo_a, hi_a = _block_box(problem, i, k)
     lo_b, hi_b = _block_box(problem, k, j)
     lo_c, hi_c = _block_box(problem, i, j)
-    a_blk = a_ga.get(proc, lo_a, hi_a)
-    b_blk = b_ga.get(proc, lo_b, hi_b)
+    a_blk = yield from a_ga.co_get(proc, lo_a, hi_a)
+    b_blk = yield from b_ga.co_get(proc, lo_b, hi_b)
     proc.compute(problem.gemm_flops() * m.seconds_per_flop)
-    c_ga.acc(proc, lo_c, hi_c, a_blk @ b_blk)
+    yield from c_ga.co_acc(proc, lo_c, hi_c, a_blk @ b_blk)
 
 
 def _tce_main(proc, problem: TCEProblem, mode: str, config: SciotoConfig | None,
@@ -72,18 +72,18 @@ def _tce_main(proc, problem: TCEProblem, mode: str, config: SciotoConfig | None,
     armci = Armci.attach(proc.engine)
     m = proc.machine
     n = problem.n
-    a_ga = GlobalArray.create(proc, "A", (n, n))
-    b_ga = GlobalArray.create(proc, "B", (n, n))
-    c_ga = GlobalArray.create(proc, "C", (n, n))
+    a_ga = yield from GlobalArray.co_create(proc, "A", (n, n))
+    b_ga = yield from GlobalArray.co_create(proc, "B", (n, n))
+    c_ga = yield from GlobalArray.co_create(proc, "C", (n, n))
     # Initialize inputs: each rank fills its own patches locally.
     (plo, phi) = a_ga.distribution(proc.rank)
     sl = tuple(slice(l, h) for l, h in zip(plo, phi))
     a_ga.access(proc)[...] = problem.dense_a()[sl]
     b_ga.access(proc)[...] = problem.dense_b()[sl]
-    a_ga.sync(proc)
+    yield from a_ga.co_sync(proc)
 
     if mode == "scioto":
-        tc = TaskCollection.create(
+        tc = yield from TaskCollection.co_create(
             proc, task_size=_TCE_TASK_BYTES,
             max_tasks=max(64, len(problem.nonzero_triples()) + 8),
             config=config or SciotoConfig(),
@@ -91,7 +91,7 @@ def _tce_main(proc, problem: TCEProblem, mode: str, config: SciotoConfig | None,
 
         def triple_task(tc_, task):
             i, j, k = task.body
-            _execute_triple(tc_.proc, problem, a_ga, b_ga, c_ga, i, j, k)
+            yield from _co_execute_triple(tc_.proc, problem, a_ga, b_ga, c_ga, i, j, k)
 
         h = tc.register(triple_task)
     else:
@@ -99,12 +99,12 @@ def _tce_main(proc, problem: TCEProblem, mode: str, config: SciotoConfig | None,
             i, j, k = triple
             p.compute(problem.triple_scan_flops() * p.machine.seconds_per_flop)
             if problem.nonzero_a(i, k) and problem.nonzero_b(k, j):
-                _execute_triple(p, problem, a_ga, b_ga, c_ga, i, j, k)
+                yield from _co_execute_triple(p, problem, a_ga, b_ga, c_ga, i, j, k)
 
-        sched = GlobalCounterScheduler(proc, counter_task)
+        sched = yield from GlobalCounterScheduler.co_create(proc, counter_task)
         task_list = problem.all_triples()
 
-    armci.barrier(proc)
+    yield from armci.co_barrier(proc)
     t0 = proc.now
     nreal = 0
     if mode == "scioto":
@@ -120,14 +120,14 @@ def _tce_main(proc, problem: TCEProblem, mode: str, config: SciotoConfig | None,
                 mine = idx % proc.nprocs == proc.rank
                 affinity = 0
             if mine:
-                tc.add(Task(callback=h, body=(i, j, k)), affinity=affinity)
+                yield from tc.co_add(Task(callback=h, body=(i, j, k)), affinity=affinity)
                 nreal += 1
     else:
-        sched.run(task_list)
+        yield from sched.co_run(task_list)
     if mode == "scioto":
-        tc.process()
-    c_ga.sync(proc)
-    elapsed = armci.allreduce(proc, proc.now - t0, max)
+        yield from tc.co_process()
+    yield from c_ga.co_sync(proc)
+    elapsed = yield from armci.co_allreduce(proc, proc.now - t0, max)
     return (elapsed, nreal)
 
 

@@ -45,11 +45,11 @@ class UTSRunResult:
 
 
 def _uts_main(proc, params: UTSParams, config: SciotoConfig):
-    tc = TaskCollection.create(
+    tc = yield from TaskCollection.co_create(
         proc, task_size=UTS_BODY_BYTES, max_tasks=1 << 20, config=config
     )
 
-    def node_task(tc_: TaskCollection, task: Task) -> None:
+    def node_task(tc_: TaskCollection, task: Task):
         node = task.body
         p = tc_.proc
         # §6.3: processing one node costs 0.3158us (Opteron) / 0.4753us
@@ -63,20 +63,22 @@ def _uts_main(proc, params: UTSParams, config: SciotoConfig):
             local.leaves += 1
             return
         for child in kids:
-            tc_.add(Task(callback=h, body=child, body_size=UTS_BODY_BYTES))
+            yield from tc_.co_add(Task(callback=h, body=child, body_size=UTS_BODY_BYTES))
 
     h = tc.register(node_task)
     stats_h = tc.register_clo(TreeStats())
     if proc.rank == 0:
-        tc.add(Task(callback=h, body=root_node(params), body_size=UTS_BODY_BYTES))
+        yield from tc.co_add(
+            Task(callback=h, body=root_node(params), body_size=UTS_BODY_BYTES)
+        )
 
     armci = Armci.attach(proc.engine)
-    armci.barrier(proc)
+    yield from armci.co_barrier(proc)
     t0 = proc.now
-    pstats = tc.process()
+    pstats = yield from tc.co_process()
     local = tc.clo(stats_h)
-    total: TreeStats = armci.allreduce(proc, local, TreeStats.merge)
-    elapsed = armci.allreduce(proc, proc.now - t0, max)
+    total: TreeStats = yield from armci.co_allreduce(proc, local, TreeStats.merge)
+    elapsed = yield from armci.co_allreduce(proc, proc.now - t0, max)
     return (total, elapsed, pstats)
 
 

@@ -20,7 +20,7 @@ from typing import Any
 
 from repro.analyze.race import RaceDetector
 from repro.obs.record import edge_recv, edge_send, span
-from repro.sim.engine import Engine, Proc
+from repro.sim.engine import Engine, Proc, blocking_method
 from repro.sim.resources import SimBarrier, SimMutex
 from repro.sim.counters import Counters
 from repro.armci.collectives import armci_barrier_cost
@@ -91,19 +91,21 @@ class Armci:
     # ------------------------------------------------------------------ #
     # One-sided data movement
     # ------------------------------------------------------------------ #
-    def put(
+    put = blocking_method("co_put")
+
+    def co_put(
         self,
         proc: Proc,
         target: int,
         nbytes: int,
         apply_fn: Callable[[], None] | None = None,
-    ) -> None:
+    ):
         """One-sided put of ``nbytes`` to ``target``; ``apply_fn`` mutates
         the target's state at the moment the data lands."""
         m = self.engine.machine
         if target == proc.rank:
             proc.advance(m.local_copy_time(nbytes))
-            proc.sync()
+            yield from proc.co_sync()
             if apply_fn is not None:
                 apply_fn()
         else:
@@ -111,44 +113,48 @@ class Armci:
                 proc.advance(m.put_time(nbytes))
                 self.counters.add(proc.rank, "put_remote")
                 self.counters.add(proc.rank, "bytes_put", nbytes)
-                proc.sync()
+                yield from proc.co_sync()
                 if apply_fn is not None:
                     apply_fn()
         det = self._race()
         if det is not None:
             det.on_put(proc, target)
 
-    def get(
+    get = blocking_method("co_get")
+
+    def co_get(
         self,
         proc: Proc,
         target: int,
         nbytes: int,
         read_fn: Callable[[], Any] | None = None,
-    ) -> Any:
+    ):
         """One-sided get of ``nbytes`` from ``target``; ``read_fn`` reads the
         target's state at request-arrival time and its result is returned
         once the response lands."""
         m = self.engine.machine
         if target == proc.rank:
             proc.advance(m.local_copy_time(nbytes))
-            proc.sync()
+            yield from proc.co_sync()
             return read_fn() if read_fn is not None else None
         with span(proc, "get", "comm", detail=f"<-{target} {nbytes}B"):
             proc.advance(m.latency)  # request travels to the target
-            proc.sync()
+            yield from proc.co_sync()
             value = read_fn() if read_fn is not None else None
             proc.advance(m.latency + nbytes / m.net_bandwidth)  # response + payload
             self.counters.add(proc.rank, "get_remote")
             self.counters.add(proc.rank, "bytes_get", nbytes)
         return value
 
-    def acc(
+    acc = blocking_method("co_acc")
+
+    def co_acc(
         self,
         proc: Proc,
         target: int,
         nbytes: int,
         apply_fn: Callable[[], None],
-    ) -> None:
+    ):
         """Atomic accumulate (e.g. ``+=``) into ``target``'s memory.
 
         Charged like a put plus target-side combining time; consecutive
@@ -158,12 +164,12 @@ class Armci:
         m = self.engine.machine
         if target == proc.rank:
             proc.advance(2.0 * m.local_copy_time(nbytes))  # read-modify-write locally
-            proc.sync()
+            yield from proc.co_sync()
             apply_fn()
             return
         with span(proc, "acc", "comm", detail=f"->{target} {nbytes}B"):
             proc.advance(m.put_time(nbytes))
-            proc.sync()
+            yield from proc.co_sync()
             service = max(proc.now, self._rmw_free_at[target])
             combine = nbytes / m.local_mem_bandwidth + m.rmw_overhead
             self._rmw_free_at[target] = service + combine
@@ -178,14 +184,16 @@ class Armci:
     # ------------------------------------------------------------------ #
     # Non-blocking one-sided operations (ARMCI_NbPut / NbGet / Wait)
     # ------------------------------------------------------------------ #
-    def nbput(
+    nbput = blocking_method("co_nbput")
+
+    def co_nbput(
         self,
         proc: Proc,
         target: int,
         nbytes: int,
         apply_fn: Callable[[], None] | None = None,
         nchunks: int = 1,
-    ) -> NbHandle:
+    ):
         """Issue a non-blocking put; the initiator pays only the issue cost.
 
         The mutation is applied at issue-sync time (our serialization
@@ -197,12 +205,12 @@ class Armci:
         m = self.engine.machine
         if target == proc.rank:
             proc.advance(m.local_copy_time(nbytes))
-            proc.sync()
+            yield from proc.co_sync()
             if apply_fn is not None:
                 apply_fn()
             return NbHandle(proc.now)
         proc.advance(m.nb_issue_overhead)
-        proc.sync()
+        yield from proc.co_sync()
         if apply_fn is not None:
             apply_fn()
         self.counters.add(proc.rank, "put_remote")
@@ -212,23 +220,25 @@ class Armci:
             det.on_put(proc, target)
         return NbHandle(proc.now + m.put_time(nbytes, nchunks))
 
-    def nbget(
+    nbget = blocking_method("co_nbget")
+
+    def co_nbget(
         self,
         proc: Proc,
         target: int,
         nbytes: int,
         read_fn: Callable[[], Any] | None = None,
         nchunks: int = 1,
-    ) -> NbHandle:
+    ):
         """Issue a non-blocking get; the value is valid after :meth:`wait`."""
         m = self.engine.machine
         if target == proc.rank:
             proc.advance(m.local_copy_time(nbytes))
-            proc.sync()
+            yield from proc.co_sync()
             value = read_fn() if read_fn is not None else None
             return NbHandle(proc.now, value)
         proc.advance(m.nb_issue_overhead + m.latency)  # issue + request travel
-        proc.sync()
+        yield from proc.co_sync()
         value = read_fn() if read_fn is not None else None
         self.counters.add(proc.rank, "get_remote")
         self.counters.add(proc.rank, "bytes_get", nbytes)
@@ -250,12 +260,14 @@ class Armci:
     # ------------------------------------------------------------------ #
     # Remote atomics
     # ------------------------------------------------------------------ #
-    def rmw(
+    rmw = blocking_method("co_rmw")
+
+    def co_rmw(
         self,
         proc: Proc,
         target: int,
         fn: Callable[[], Any],
-    ) -> Any:
+    ):
         """Remote atomic read-modify-write (fetch-and-add, swap, cas).
 
         ``fn`` performs the atomic update on the target's state and
@@ -270,7 +282,7 @@ class Armci:
             # local CAS: cheap, but still serializes with remote atomics
             # being serviced at this rank
             proc.advance(m.local_lock_overhead)
-            proc.sync()
+            yield from proc.co_sync()
             start = max(proc.now, self._rmw_free_at[target])
             end = start + m.local_lock_overhead
             self._rmw_free_at[target] = end
@@ -283,7 +295,7 @@ class Armci:
             return value
         with span(proc, "rmw", "comm", detail=f"@{target}"):
             proc.advance(m.latency)  # request travels
-            proc.sync()
+            yield from proc.co_sync()
             service_start = max(proc.now, self._rmw_free_at[target])
             service_end = service_start + m.rmw_overhead
             self._rmw_free_at[target] = service_end
@@ -307,14 +319,16 @@ class Armci:
     # ------------------------------------------------------------------ #
     # One-sided messages (mailboxes)
     # ------------------------------------------------------------------ #
-    def post(
+    post = blocking_method("co_post")
+
+    def co_post(
         self,
         proc: Proc,
         target: int,
         tag: str,
         payload: Any,
         nbytes: int = CONTROL_MSG_BYTES,
-    ) -> None:
+    ):
         """Deposit a small control message into ``target``'s mailbox.
 
         Implemented as a one-sided put into a remotely accessible buffer
@@ -324,7 +338,7 @@ class Armci:
         m = self.engine.machine
         cost = m.local_copy_time(nbytes) if target == proc.rank else m.put_time(nbytes)
         proc.advance(cost)
-        proc.sync()
+        yield from proc.co_sync()
         self._mailboxes[target][tag].append((proc.rank, payload))
         # Causal edge source: the mailbox is FIFO per (target, tag), so the
         # matching edge_recv in poll_mailbox pairs sends and receives in
@@ -338,10 +352,12 @@ class Armci:
         if waiter is not None:
             self.engine.wake(waiter, proc.now)
 
-    def poll_mailbox(self, proc: Proc, tag: str) -> tuple[int, Any] | None:
+    poll_mailbox = blocking_method("co_poll_mailbox")
+
+    def co_poll_mailbox(self, proc: Proc, tag: str):
         """Check own mailbox for a message with ``tag``; local-cost probe."""
         proc.advance(MAILBOX_CHECK_COST)
-        proc.sync()
+        yield from proc.co_sync()
         q = self._mailboxes[proc.rank][tag]
         if q:
             det = self._race()
@@ -355,7 +371,9 @@ class Armci:
         """Whether any message with ``tag`` is pending (no cost charge)."""
         return not self._mailboxes[proc.rank][tag]
 
-    def wait_mailbox(self, proc: Proc, tag: str, timeout: float) -> bool:
+    wait_mailbox = blocking_method("co_wait_mailbox")
+
+    def co_wait_mailbox(self, proc: Proc, tag: str, timeout: float):
         """Wait up to ``timeout`` for a message with ``tag`` to arrive.
 
         Models a tight polling loop without charging one event per poll:
@@ -365,23 +383,27 @@ class Armci:
         """
         proc.advance(MAILBOX_CHECK_COST)
         if self._mailboxes[proc.rank][tag]:
-            proc.sync()
+            yield from proc.co_sync()
             return True
         key = (proc.rank, tag)
         self._mail_waiters[key] = proc
-        proc.park_until(proc.now + timeout, f"wait_mailbox({tag})")
+        yield from proc.co_park_until(proc.now + timeout, f"wait_mailbox({tag})")
         self._mail_waiters.pop(key, None)
         return bool(self._mailboxes[proc.rank][tag])
 
     # ------------------------------------------------------------------ #
     # Collectives
     # ------------------------------------------------------------------ #
-    def barrier(self, proc: Proc) -> None:
+    barrier = blocking_method("co_barrier")
+
+    def co_barrier(self, proc: Proc):
         """ARMCI_Barrier: fence all one-sided traffic, then synchronize."""
         self.counters.add(proc.rank, "barrier")
-        self._barrier.wait(proc)
+        yield from self._barrier.co_wait(proc)
 
-    def fence(self, proc: Proc, target: int | None = None) -> None:
+    fence = blocking_method("co_fence")
+
+    def co_fence(self, proc: Proc, target: int | None = None):
         """Wait for completion of this rank's outstanding one-sided ops.
 
         Ops are initiator-blocking in this model, so the charge is a
@@ -391,25 +413,27 @@ class Armci:
         """
         with span(proc, "fence", "comm", detail=target):
             proc.advance(self.engine.machine.latency)
-            proc.sync()
+            yield from proc.co_sync()
         det = self._race()
         if det is not None:
             det.on_fence(proc, target)
 
-    def allreduce(self, proc: Proc, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+    allreduce = blocking_method("co_allreduce")
+
+    def co_allreduce(self, proc: Proc, value: Any, op: Callable[[Any, Any], Any]):
         """Combine ``value`` across all ranks with ``op``; all ranks get the result.
 
         Modelled as arrive-at-barrier + reduction critical path; used by
         GA's ``dgop`` and by applications for convergence checks.
         """
-        proc.sync()
+        yield from proc.co_sync()
         n = self.engine.nprocs
         if n == 1:
             return value
         self._collective_slot.append(value)
         if len(self._collective_slot) < n:
             self._collective_parked.append(proc)
-            return proc.park("allreduce")
+            return (yield from proc.co_park("allreduce"))
         result = self._collective_slot[0]
         for v in self._collective_slot[1:]:
             result = op(result, v)
@@ -422,12 +446,14 @@ class Armci:
         for w in parked:
             self.engine.wake(w, release_at, result)
         proc.advance(release_at - proc.now)
-        proc.sync()
+        yield from proc.co_sync()
         return result
 
-    def broadcast(self, proc: Proc, value: Any, root: int = 0) -> Any:
+    broadcast = blocking_method("co_broadcast")
+
+    def co_broadcast(self, proc: Proc, value: Any, root: int = 0):
         """Broadcast ``value`` from ``root`` to all ranks (tree cost model)."""
-        chosen = self.allreduce(
+        chosen = yield from self.co_allreduce(
             proc,
             (proc.rank == root, value),
             lambda a, b: a if a[0] else b,

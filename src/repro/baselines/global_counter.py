@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Any
 
 from repro.armci.runtime import Armci
 from repro.ga.counter import GlobalCounter
-from repro.sim.engine import Proc
+from repro.sim.engine import Proc, blocking_method
 
 __all__ = ["GlobalCounterScheduler", "CounterRunStats"]
 
@@ -46,32 +47,53 @@ class GlobalCounterScheduler:
         proc: Proc,
         execute: Callable[[Proc, Any], None],
         counter_host: int = 0,
+        counter: GlobalCounter | None = None,
     ) -> None:
         self.proc = proc
         self.execute = execute
         self.armci = Armci.attach(proc.engine)
-        self.counter = GlobalCounter.create(proc, host_rank=counter_host)
+        self.counter = (
+            counter
+            if counter is not None
+            else GlobalCounter.create(proc, host_rank=counter_host)
+        )
 
-    def run(self, tasks: Sequence[Any]) -> CounterRunStats:
+    @classmethod
+    def co_create(
+        cls,
+        proc: Proc,
+        execute: Callable[[Proc, Any], None],
+        counter_host: int = 0,
+    ):
+        """Coroutine-protocol constructor (the collective counter creation
+        is the blocking part)."""
+        counter = yield from GlobalCounter.co_create(proc, host_rank=counter_host)
+        return cls(proc, execute, counter=counter)
+
+    run = blocking_method("co_run")
+
+    def co_run(self, tasks: Sequence[Any]):
         """Process the (replicated) ``tasks`` list to completion; collective.
 
         Every rank must pass an identical list; tasks execute exactly once
         across all ranks, in claim order.
         """
         proc = self.proc
-        self.armci.barrier(proc)
+        yield from self.armci.co_barrier(proc)
         t0 = proc.now
         working = 0.0
         claimed = 0
         while True:
-            i = self.counter.read_inc(proc)
+            i = yield from self.counter.co_read_inc(proc)
             if i >= len(tasks):
                 break
             w0 = proc.now
-            self.execute(proc, tasks[i])
+            res = self.execute(proc, tasks[i])
+            if type(res) is GeneratorType:
+                yield from res
             working += proc.now - w0
             claimed += 1
-        self.armci.barrier(proc)
+        yield from self.armci.co_barrier(proc)
         return CounterRunStats(
             rank=proc.rank,
             tasks_claimed=claimed,

@@ -43,7 +43,10 @@ __all__ = [
     "WALL_SCHEMA",
     "PERF_SCENARIOS",
     "QUICK_SCENARIOS",
+    "MICRO_BENCHMARKS",
     "measure_scenario",
+    "measure_micro_switch",
+    "run_micro",
     "run_perf",
     "write_wall_json",
     "validate_wall_json",
@@ -70,6 +73,9 @@ PERF_SCENARIOS = (
 #: ``--quick`` subset: enough to validate the schema and every backend
 #: without paying for the big presets (CI runs this).
 QUICK_SCENARIOS = ("queue", "steals", "uts-tiny")
+
+#: Microbenchmarks selectable with ``--micro``.
+MICRO_BENCHMARKS = ("switch",)
 
 
 def measure_scenario(
@@ -109,6 +115,78 @@ def measure_scenario(
         "mean_wall_s": sum(walls) / len(walls),
         "events_per_sec": events / best if best > 0 else 0.0,
     }
+
+
+def measure_micro_switch(
+    backend: str, switches: int = 20000, reps: int = 3
+) -> dict[str, Any]:
+    """Measure the raw cost of one context switch on ``backend``.
+
+    Two simulated processes ping-pong: each loop iteration advances the
+    local clock by one microsecond and syncs, which always finds the
+    peer globally earliest — so sync elision never fires and *every*
+    event is a genuine handoff through the backend's switch mechanism.
+    The reported ``ns_per_switch`` therefore prices one end-to-end
+    scheduling event: heap push + pop, bookkeeping, and the context
+    switch itself — a generator ``send`` on ``coro``, a kernel wakeup
+    (or two semaphore round trips) on the thread backends.
+    """
+    from repro.sim.engine import Engine
+
+    def micro_main(proc):
+        for _ in range(switches):
+            yield from proc.co_sleep(1e-6)
+
+    walls = []
+    events = None
+    for _ in range(reps):
+        engine = Engine(2, backend=backend)
+        engine.spawn_all(micro_main)
+        # Sanctioned wall-clock site (see measure_scenario).
+        t0 = time.perf_counter()  # repro: lint-disable=RPR002
+        engine.run()
+        walls.append(time.perf_counter() - t0)  # repro: lint-disable=RPR002
+        if events is None:
+            events = engine.events
+        elif events != engine.events:
+            raise RuntimeError(
+                f"micro-switch/{backend}: event count changed across reps "
+                f"({events} vs {engine.events}); engine is nondeterministic"
+            )
+    best = min(walls)
+    return {
+        "scenario": "micro-switch",
+        "backend": backend,
+        "nprocs": 2,
+        "seed": 0,
+        "reps": reps,
+        "events": events,
+        "best_wall_s": best,
+        "mean_wall_s": sum(walls) / len(walls),
+        "events_per_sec": events / best if best > 0 else 0.0,
+        "ns_per_switch": best / events * 1e9 if events else 0.0,
+    }
+
+
+def run_micro(
+    backends: tuple[str, ...] | list[str] | None = None,
+    switches: int = 20000,
+    reps: int = 3,
+    verbose: bool = True,
+) -> list[dict[str, Any]]:
+    """Measure the switch microbenchmark on every backend."""
+    backends = tuple(backends) if backends is not None else available_backends()
+    entries = []
+    for backend in backends:
+        entry = measure_micro_switch(backend, switches=switches, reps=reps)
+        entries.append(entry)
+        if verbose:
+            print(
+                f"  micro-switch [{backend:<10}] {entry['events']:>8} events  "
+                f"best {entry['best_wall_s'] * 1e3:8.1f} ms  "
+                f"{entry['ns_per_switch']:>8,.0f} ns/switch"
+            )
+    return entries
 
 
 def run_perf(
@@ -223,6 +301,14 @@ def main(argv: list[str] | None = None) -> int:
                              "(CI schema validation)")
     parser.add_argument("--only", nargs="*", choices=PERF_SCENARIOS,
                         help="measure only these scenarios")
+    parser.add_argument("--micro", nargs="*", choices=MICRO_BENCHMARKS,
+                        metavar="NAME",
+                        help="measure only these microbenchmarks "
+                             f"(choices: {', '.join(MICRO_BENCHMARKS)}); "
+                             "the full sweep always includes them")
+    parser.add_argument("--switches", type=int, default=20000,
+                        help="ping-pong iterations per rank for the switch "
+                             "microbenchmark (default: %(default)s)")
     parser.add_argument("--backends", nargs="*",
                         help="backends to measure (default: all available)")
     parser.add_argument("--reps", type=int, default=None,
@@ -242,8 +328,19 @@ def main(argv: list[str] | None = None) -> int:
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
     backends = tuple(args.backends) if args.backends else available_backends()
     print(f"# engine wall-clock perf — backends: {', '.join(backends)}\n")
-    entries = run_perf(scenarios, backends=backends, reps=reps,
-                       nprocs=args.nprocs, seed=args.seed)
+    if args.micro is not None:
+        # --micro alone measures just the microbenchmarks.
+        entries = run_micro(backends=backends, switches=args.switches,
+                            reps=reps)
+    else:
+        entries = run_perf(scenarios, backends=backends, reps=reps,
+                           nprocs=args.nprocs, seed=args.seed)
+        if not args.only and not args.quick:
+            # The full sweep carries the switch microbenchmark too, so
+            # the regenerated record always prices the raw primitive
+            # alongside end-to-end scenario throughput.
+            entries += run_micro(backends=backends, switches=args.switches,
+                                 reps=reps)
     if not args.no_json:
         out = write_wall_json(entries, args.json)
         print(f"\nwall-clock record -> {out}")

@@ -37,9 +37,9 @@ def unlocked_split() -> Iterator[None]:
     owner re-inserting descriptors that are already in flight, i.e. a
     duplicated task.  Caught by ``queue-consistency`` / ``exactly-once``.
     """
-    orig = SplitQueue._reacquire
+    orig = SplitQueue._co_reacquire
 
-    def racy_reacquire(self: SplitQueue, proc) -> None:
+    def racy_reacquire(self: SplitQueue, proc):
         if not self._shared:
             return
         k = max(1, int(len(self._shared) * self.config.reacquire_fraction))
@@ -48,18 +48,18 @@ def unlocked_split() -> Iterator[None]:
         # ... unlocked, and spanning several scheduler yields — the
         # window a real one-sided metadata read/update pair leaves open
         for _ in range(3):
-            proc.sleep(self.engine.machine.local_lock_overhead)
+            yield from proc.co_sleep(self.engine.machine.local_lock_overhead)
         hooks.shared_update(proc, self._race_region)
         self._private.extend(moved)
         del self._shared[:k]  # stale write-back of the split pointer
         self.counters.add(proc.rank, "reacquire_ops")
         self.counters.add(proc.rank, "tasks_reacquired", k)
 
-    SplitQueue._reacquire = racy_reacquire
+    SplitQueue._co_reacquire = racy_reacquire
     try:
         yield
     finally:
-        SplitQueue._reacquire = orig
+        SplitQueue._co_reacquire = orig
 
 
 @contextlib.contextmanager
@@ -114,12 +114,14 @@ def late_dirty_mark() -> Iterator[None]:
     def no_steal_mark(self: TerminationDetector, proc, victim: int):
         return None
 
-    def late_note_steal(self: TerminationDetector, proc, victim: int) -> None:
+    def late_note_steal(self: TerminationDetector, proc, victim: int):
+        # A generator: the scheduler drives communicating note_steal
+        # replacements (the production one is a plain function).
         self._mark_dirty(proc)
         if self._need_mark(victim):
-            self.armci.fence(proc, victim)
+            yield from self.armci.co_fence(proc, victim)
             victim_det = self.peers[victim]
-            self.armci.put(
+            yield from self.armci.co_put(
                 proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
             )
             self.counters.add(proc.rank, "dirty_msgs")
@@ -153,11 +155,11 @@ def fence_elision() -> Iterator[None]:
     def no_steal_mark(self: TerminationDetector, proc, victim: int):
         return None
 
-    def unfenced_note_steal(self: TerminationDetector, proc, victim: int) -> None:
+    def unfenced_note_steal(self: TerminationDetector, proc, victim: int):
         self._mark_dirty(proc)
         if self._need_mark(victim):
             victim_det = self.peers[victim]
-            self.armci.put(
+            yield from self.armci.co_put(
                 proc, victim, 8, lambda: victim_det._mark_dirty(proc, release=True)
             )
             self.counters.add(proc.rank, "dirty_msgs")
@@ -192,7 +194,7 @@ def lock_order_inversion() -> Iterator[None]:
     ``steal-own-lock`` protocol event — the gate the witness keys on.
     """
     orig_init = SplitQueue.__init__
-    orig_steal = SplitQueue.steal_from
+    orig_steal = SplitQueue.co_steal_from
 
     def registering_init(self: SplitQueue, *args, **kwargs) -> None:
         orig_init(self, *args, **kwargs)
@@ -203,25 +205,25 @@ def lock_order_inversion() -> Iterator[None]:
     ):
         own = self.engine.state.get("queue-registry", {}).get(proc.rank)
         if own is None or own.config.wait_free_steals or own is self:
-            return orig_steal(
+            return (yield from orig_steal(
                 self, proc, want, probe_first=probe_first, on_transfer=on_transfer
-            )
+            ))
         hooks.protocol(proc, "steal-own-lock", victim=self.owner)
-        own.mutex.acquire(proc)
+        yield from own.mutex.co_acquire(proc)
         try:
-            return orig_steal(
+            return (yield from orig_steal(
                 self, proc, want, probe_first=probe_first, on_transfer=on_transfer
-            )
+            ))
         finally:
-            own.mutex.release(proc)
+            yield from own.mutex.co_release(proc)
 
     SplitQueue.__init__ = registering_init
-    SplitQueue.steal_from = inverted_steal_from
+    SplitQueue.co_steal_from = inverted_steal_from
     try:
         yield
     finally:
         SplitQueue.__init__ = orig_init
-        SplitQueue.steal_from = orig_steal
+        SplitQueue.co_steal_from = orig_steal
 
 
 @contextlib.contextmanager

@@ -97,20 +97,22 @@ class QueueScenario(Scenario):
                 body = 0
                 for _round in range(4):
                     for _ in range(6):
-                        q.push_local(proc, Task(callback=0, body=body, affinity=body % 3))
+                        yield from q.co_push_local(
+                            proc, Task(callback=0, body=body, affinity=body % 3)
+                        )
                         body += 1
-                    proc.sleep(float(proc.rng.uniform(0.0, 1e-6)))
-                    while q.pop_local(proc) is not None:
-                        proc.sleep(float(proc.rng.uniform(0.0, 0.5e-6)))
+                    yield from proc.co_sleep(float(proc.rng.uniform(0.0, 1e-6)))
+                    while (yield from q.co_pop_local(proc)) is not None:
+                        yield from proc.co_sleep(float(proc.rng.uniform(0.0, 0.5e-6)))
             else:
                 # thieves: steal from rank 0 throughout the owner's run,
                 # absorb, and drain locally
                 for _ in range(10):
-                    proc.sleep(float(proc.rng.uniform(0.0, 1.5e-6)))
-                    got = queues[0].steal_from(proc, 3)
+                    yield from proc.co_sleep(float(proc.rng.uniform(0.0, 1.5e-6)))
+                    got = yield from queues[0].co_steal_from(proc, 3)
                     if got:
-                        q.absorb_stolen(proc, got)
-                    while q.pop_local(proc) is not None:
+                        yield from q.co_absorb_stolen(proc, got)
+                    while (yield from q.co_pop_local(proc)) is not None:
                         pass
 
         engine.spawn_all(main)
@@ -140,7 +142,7 @@ class TerminationScenario(Scenario):
         limit = self.tree_limit
 
         def main(proc):
-            tc = TaskCollection.create(
+            tc = yield from TaskCollection.co_create(
                 proc, task_size=64, max_tasks=self.capacity, config=self.config
             )
 
@@ -149,20 +151,20 @@ class TerminationScenario(Scenario):
                 # decision points, as real task bodies (with comm) do —
                 # this is what gives the post-steal race window depth
                 tc_.proc.compute(0.5e-6)
-                tc_.proc.sleep(float(tc_.proc.rng.uniform(0.1e-6, 1.0e-6)))
+                yield from tc_.proc.co_sleep(float(tc_.proc.rng.uniform(0.1e-6, 1.0e-6)))
                 if t.body < limit:
                     left = Task(callback=h, body=2 * t.body + 1)
                     right = Task(callback=h, body=2 * t.body + 2)
-                    tc_.add(left)
+                    yield from tc_.co_add(left)
                     # a sprinkle of remote adds exercises add_remote and
                     # the piggybacked dirty marking
                     dest = (tc_.rank + 1) % tc_.nprocs if t.body % 5 == 0 else None
-                    tc_.add(right, rank=dest)
+                    yield from tc_.co_add(right, rank=dest)
 
             h = tc.register(node)
             if proc.rank == 0:
-                tc.add(Task(callback=h, body=0))
-            tc.process()
+                yield from tc.co_add(Task(callback=h, body=0))
+            yield from tc.co_process()
 
         engine.spawn_all(main)
         return CheckContext(capacity=self.capacity, expect_complete=True)
@@ -196,21 +198,21 @@ class StealTerminationScenario(TerminationScenario):
         limit = self.tree_limit
 
         def main(proc):
-            tc = TaskCollection.create(
+            tc = yield from TaskCollection.co_create(
                 proc, task_size=64, max_tasks=self.capacity, config=self.config
             )
 
             def node(tc_, t):
                 tc_.proc.compute(0.5e-6)
-                tc_.proc.sleep(float(tc_.proc.rng.uniform(0.1e-6, 1.0e-6)))
+                yield from tc_.proc.co_sleep(float(tc_.proc.rng.uniform(0.1e-6, 1.0e-6)))
                 if t.body < limit:
-                    tc_.add(Task(callback=h, body=2 * t.body + 1))
-                    tc_.add(Task(callback=h, body=2 * t.body + 2))
+                    yield from tc_.co_add(Task(callback=h, body=2 * t.body + 1))
+                    yield from tc_.co_add(Task(callback=h, body=2 * t.body + 2))
 
             h = tc.register(node)
             if proc.rank == 0:
-                tc.add(Task(callback=h, body=0))
-            tc.process()
+                yield from tc.co_add(Task(callback=h, body=0))
+            yield from tc.co_process()
 
         engine.spawn_all(main)
         return CheckContext(capacity=self.capacity, expect_complete=True)
@@ -251,15 +253,15 @@ class GraphScenario(Scenario):
         dag = self.DAG
 
         def main(proc):
-            tc = TaskCollection.create(proc, task_size=64, max_tasks=64)
-            tg = TaskGraph.create(tc)
+            tc = yield from TaskCollection.co_create(proc, task_size=64, max_tasks=64)
+            tg = yield from TaskGraph.co_create(tc)
 
             def work(tc_, t):
                 tc_.proc.compute(float(tc_.proc.rng.uniform(0.2e-6, 1e-6)))
 
             for i, (name, deps) in enumerate(dag.items()):
                 tg.add(name, work, deps=list(deps), rank=i % proc.nprocs)
-            tg.process()
+            yield from tg.co_process()
 
         engine.spawn_all(main)
         return CheckContext(capacity=64, expect_complete=True, dag=dict(dag))

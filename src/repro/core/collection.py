@@ -27,10 +27,9 @@ from typing import Any
 from repro.armci.runtime import Armci
 from repro.core.config import SciotoConfig
 from repro.core.queue import SplitQueue
-from repro.core.stats import ProcessStats
 from repro.core.task import Task
 from repro.core.termination import TerminationDetector
-from repro.sim.engine import Engine, Proc
+from repro.sim.engine import Engine, Proc, blocking_method
 from repro.sim.counters import Counters
 from repro.obs.tracing import trace
 from repro.util.errors import TaskCollectionError
@@ -109,15 +108,17 @@ class TaskCollection:
     # ------------------------------------------------------------------ #
     # Lifecycle (collective)
     # ------------------------------------------------------------------ #
+    create = classmethod(blocking_method("co_create"))
+
     @classmethod
-    def create(
+    def co_create(
         cls,
         proc: Proc,
         task_size: int = 1024,
         chunk_size: int | None = None,
         max_tasks: int = 16384,
         config: SciotoConfig | None = None,
-    ) -> "TaskCollection":
+    ):
         """Collectively create a task collection (``tc_create``).
 
         Args:
@@ -137,7 +138,7 @@ class TaskCollection:
         )
         idx = registry["counts"][proc.rank]
         registry["counts"][proc.rank] += 1
-        proc.sync()
+        yield from proc.co_sync()
         if idx == len(registry["shared"]):
             registry["shared"].append(
                 _SharedTC(proc.engine, idx, task_size, max_tasks, cfg)
@@ -147,22 +148,26 @@ class TaskCollection:
             raise TaskCollectionError(
                 f"collective tc_create mismatch on rank {proc.rank}"
             )
-        Armci.attach(proc.engine).barrier(proc)
+        yield from Armci.attach(proc.engine).co_barrier(proc)
         return cls(proc, shared)
 
-    def destroy(self) -> None:
+    destroy = blocking_method("co_destroy")
+
+    def co_destroy(self):
         """Collectively destroy the collection (``tc_destroy``)."""
-        Armci.attach(self.proc.engine).barrier(self.proc)
+        yield from Armci.attach(self.proc.engine).co_barrier(self.proc)
         self._shared.destroyed = True
 
-    def reset(self) -> None:
+    reset = blocking_method("co_reset")
+
+    def co_reset(self):
         """Collectively drop all queued tasks so the collection can be reused
         (``tc_reset``)."""
         self._check_alive()
         armci = Armci.attach(self.proc.engine)
-        armci.barrier(self.proc)
+        yield from armci.co_barrier(self.proc)
         self._shared.queues[self.proc.rank].drain()
-        armci.barrier(self.proc)
+        yield from armci.co_barrier(self.proc)
 
     # ------------------------------------------------------------------ #
     # Registration (collective)
@@ -214,12 +219,14 @@ class TaskCollection:
     def config(self) -> SciotoConfig:
         return self._shared.config
 
-    def add(
+    add = blocking_method("co_add")
+
+    def co_add(
         self,
         task: Task,
         rank: int | None = None,
         affinity: int | None = None,
-    ) -> None:
+    ):
         """Add a task to the collection (``tc_add``).
 
         The descriptor is copied (copy-in/out semantics) so the caller may
@@ -231,39 +238,46 @@ class TaskCollection:
             affinity: Affinity of the task for the destination process;
                 defaults to the value already in the descriptor.
         """
-        self._check_alive()
-        if not 0 <= task.callback < len(self._shared.callbacks[self.rank]):
+        shared = self._shared
+        if shared.destroyed:
+            raise TaskCollectionError("operation on a destroyed task collection")
+        proc = self.proc
+        myrank = proc.rank
+        if not 0 <= task.callback < len(shared.callbacks[myrank]):
             raise TaskCollectionError(
                 f"task callback handle {task.callback} is not registered"
             )
-        dest = self.rank if rank is None else rank
-        if not 0 <= dest < self.nprocs:
+        dest = myrank if rank is None else rank
+        if not 0 <= dest < proc.engine.nprocs:
             raise TaskCollectionError(f"invalid destination rank {dest}")
         t = task.clone()
-        t.created_by = self.rank
+        t.created_by = myrank
         if affinity is not None:
             t.affinity = affinity
-        trace(self.proc, "task-add", t.uid)
-        if dest == self.rank:
-            self._shared.queues[dest].push_local(self.proc, t)
+        if proc.engine.observed:
+            trace(proc, "task-add", t.uid)
+        if dest == myrank:
+            yield from shared.queues[dest].co_push_local(proc, t)
         else:
-            self._shared.queues[dest].add_remote(self.proc, t)
-            td = self._shared.active[self.rank]
+            yield from shared.queues[dest].co_add_remote(proc, t)
+            td = shared.active[myrank]
             if td is not None:
-                td.note_remote_add(self.proc, dest)
+                td.note_remote_add(proc, dest)
 
     def task(self, callback: int, body: Any = None, affinity: int = 0,
              body_size: int | None = None) -> Task:
         """Convenience constructor for a task descriptor."""
         return Task(callback=callback, body=body, affinity=affinity, body_size=body_size)
 
-    def process(self) -> ProcessStats:
+    process = blocking_method("co_process")
+
+    def co_process(self):
         """Collectively process the collection to global termination
         (``tc_process``).  See ``repro.core.scheduler`` for the loop."""
         self._check_alive()
-        from repro.core.scheduler import run_process
+        from repro.core.scheduler import co_run_process
 
-        return run_process(self)
+        return (yield from co_run_process(self))
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -27,13 +27,14 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any
 
 from repro.armci.runtime import Armci
 from repro.core.collection import TaskCollection
-from repro.core.stats import ProcessStats
 from repro.core.task import AFFINITY_HIGH, Task
 from repro.obs.tracing import trace
+from repro.sim.engine import blocking_method
 from repro.util.errors import TaskCollectionError
 
 __all__ = ["TaskGraph"]
@@ -84,15 +85,17 @@ class TaskGraph:
     # ------------------------------------------------------------------ #
     # Construction (collective, replicated)
     # ------------------------------------------------------------------ #
+    create = classmethod(blocking_method("co_create"))
+
     @classmethod
-    def create(cls, tc: TaskCollection) -> "TaskGraph":
+    def co_create(cls, tc: TaskCollection):
         """Collectively create a graph bound to ``tc`` (call on every rank)."""
         registry = tc.proc.engine.state.setdefault(
             cls._KEY, {"counts": [0] * tc.nprocs, "stores": []}
         )
         idx = registry["counts"][tc.rank]
         registry["counts"][tc.rank] += 1
-        tc.proc.sync()
+        yield from tc.proc.co_sync()
         if idx == len(registry["stores"]):
             registry["stores"].append({})
         return cls(tc, registry["stores"][idx])
@@ -130,18 +133,20 @@ class TaskGraph:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def process(self) -> ProcessStats:
+    process = blocking_method("co_process")
+
+    def co_process(self):
         """Seed ready tasks and run the collection to termination (collective)."""
-        self._seal()
+        yield from self._co_seal()
         proc = self.tc.proc
         # every rank seeds the ready tasks homed on it
         for node in self._nodes.values():
             if not node.deps and node.rank == proc.rank:
-                self._enqueue(node)
-        Armci.attach(proc.engine).barrier(proc)
-        return self.tc.process()
+                yield from self._co_enqueue(node)
+        yield from Armci.attach(proc.engine).co_barrier(proc)
+        return (yield from self.tc.co_process())
 
-    def _seal(self) -> None:
+    def _co_seal(self):
         if self._sealed:
             return
         self._validate()
@@ -152,7 +157,7 @@ class TaskGraph:
                 # the home rank hosts the counter (one writer at creation;
                 # later mutated only via one-sided rmw)
                 self._counters[node.name] = len(node.deps)
-        self.tc.proc.sync()
+        yield from self.tc.proc.co_sync()
         self._sealed = True
 
     def _validate(self) -> None:
@@ -181,17 +186,21 @@ class TaskGraph:
             cyclic = sorted(n for n, d in indeg.items() if d > 0)
             raise TaskCollectionError(f"dependency cycle involving {cyclic}")
 
-    def _enqueue(self, node: _Node) -> None:
-        self.tc.add(
+    def _co_enqueue(self, node: _Node):
+        yield from self.tc.co_add(
             Task(callback=self._handle, body=node.name, affinity=node.affinity),
             rank=node.rank,
         )
 
-    def _run_node(self, tc: TaskCollection, task: Task) -> None:
+    def _run_node(self, tc: TaskCollection, task: Task):
+        # Registered as a task callback: the scheduler drives the
+        # returned generator (see ``co_run_process``).
         node = self._nodes[task.body]
         trace(tc.proc, "graph-node", node.name)
         user_task = Task(callback=self._handle, body=node.body, affinity=node.affinity)
-        node.fn(tc, user_task)
+        res = node.fn(tc, user_task)
+        if type(res) is GeneratorType:
+            yield from res
         armci = Armci.attach(tc.proc.engine)
         for succ_name in node.successors:
             succ = self._nodes[succ_name]
@@ -200,9 +209,9 @@ class TaskGraph:
                 self._counters[name] -= 1
                 return self._counters[name]
 
-            remaining = armci.rmw(tc.proc, succ.rank, _dec)
+            remaining = yield from armci.co_rmw(tc.proc, succ.rank, _dec)
             if remaining == 0:
-                self._enqueue(succ)
+                yield from self._co_enqueue(succ)
             elif remaining < 0:  # pragma: no cover - defensive
                 raise TaskCollectionError(
                     f"dependency counter of {succ_name!r} went negative"

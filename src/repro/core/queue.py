@@ -34,7 +34,7 @@ from repro.core.config import SciotoConfig
 from repro.core.task import Task
 from repro.obs.record import edge_here, edge_mark, observe, span
 from repro.obs.tracing import trace
-from repro.sim.engine import Engine, Proc
+from repro.sim.engine import Engine, Proc, blocking_method
 from repro.sim.counters import Counters
 from repro.util.errors import TaskCollectionError
 
@@ -69,6 +69,11 @@ class SplitQueue:
         self.default_body_size = default_body_size
         self.config = config
         self.counters = counters
+        # Memoized push/pop costs per wire size: the cost model is a pure
+        # function of the (immutable) machine spec, and task wire sizes
+        # repeat, so the hot paths reuse the exact floats it computed.
+        self._push_costs: dict[int, float] = {}
+        self._copy_costs: dict[int, float] = {}
         # Ordered descending by affinity; index 0 is the head.
         # In split mode _private is the owner's lock-free portion and
         # _shared the steal-able portion; in locked mode everything lives
@@ -132,63 +137,89 @@ class SplitQueue:
         pos = bisect.bisect_left([-t.affinity for t in region], -task.affinity)
         region.insert(pos, task)
 
-    def push_local(self, proc: Proc, task: Task) -> None:
+    push_local = blocking_method("co_push_local")
+
+    def co_push_local(self, proc: Proc, task: Task):
         """Owner enqueues a task (lock-free in split mode)."""
         if proc.rank != self.owner:
             raise TaskCollectionError("push_local called by non-owner")
-        m = self.engine.machine
+        engine = self.engine
+        m = engine.machine
         self.counters.add(proc.rank, "local_push")
         if self.config.split_queues:
-            proc.advance(m.local_insert_overhead + m.local_copy_time(self._wire(task)))
-            proc.sync()
-            self._check_capacity(1)
-            self._insert_by_affinity(self._private, task)
-            trace(proc, "q-push", (self.owner, task.uid))
-            edge_mark(proc, ("spawn", task.uid), detail=task.uid)
-            self._maybe_release(proc)
+            wire = task.wire_size(self.default_body_size)
+            cost = self._push_costs.get(wire)
+            if cost is None:
+                cost = m.local_insert_overhead + m.local_copy_time(wire)
+                self._push_costs[wire] = cost
+            proc._clock += cost  # advance(): model constant, >= 0
+            yield from proc.co_sync()
+            private = self._private
+            if len(private) + len(self._shared) >= self.capacity:
+                self._check_capacity(1)
+            if not private or task.affinity >= private[0].affinity:
+                private.insert(0, task)
+            else:
+                self._insert_by_affinity(private, task)
+            if engine.observed:
+                trace(proc, "q-push", (self.owner, task.uid))
+                edge_mark(proc, ("spawn", task.uid), detail=task.uid)
+            if not self._shared and len(private) >= 2:
+                yield from self._co_maybe_release(proc)
         else:
-            self.mutex.acquire(proc)
+            yield from self.mutex.co_acquire(proc)
             proc.advance(m.local_insert_overhead + m.local_copy_time(self._wire(task)))
-            proc.sync()
+            yield from proc.co_sync()
             self._check_capacity(1)
             hooks.shared_write(proc, self._race_region)
             self._insert_by_affinity(self._shared, task)
             trace(proc, "q-push", (self.owner, task.uid))
             edge_mark(proc, ("spawn", task.uid), detail=task.uid)
             edge_mark(proc, self._share_key)
-            self.mutex.release(proc)
+            yield from self.mutex.co_release(proc)
 
-    def pop_local(self, proc: Proc) -> Task | None:
+    pop_local = blocking_method("co_pop_local")
+
+    def co_pop_local(self, proc: Proc):
         """Owner dequeues the highest-affinity task, or None if empty."""
         if proc.rank != self.owner:
             raise TaskCollectionError("pop_local called by non-owner")
-        m = self.engine.machine
+        engine = self.engine
+        m = engine.machine
         if self.config.split_queues:
-            proc.advance(m.local_get_overhead)
-            proc.sync()
+            proc._clock += m.local_get_overhead  # advance(): constant, >= 0
+            yield from proc.co_sync()
             if not self._private and self._shared:
-                self._reacquire(proc)
-            if not self._private:
+                yield from self._co_reacquire(proc)
+            private = self._private
+            if not private:
                 return None
-            task = self._private.pop(0)
-            trace(proc, "q-pop", (self.owner, task.uid))
-            proc.advance(m.local_copy_time(self._wire(task)))
+            task = private.pop(0)
+            if engine.observed:
+                trace(proc, "q-pop", (self.owner, task.uid))
+            wire = task.wire_size(self.default_body_size)
+            cost = self._copy_costs.get(wire)
+            if cost is None:
+                cost = m.local_copy_time(wire)
+                self._copy_costs[wire] = cost
+            proc._clock += cost  # advance(): model constant, >= 0
             self.counters.add(proc.rank, "local_pop")
-            self._maybe_release(proc)
+            if not self._shared and len(private) >= 2:
+                yield from self._co_maybe_release(proc)
             return task
-        self.mutex.acquire(proc)
+        yield from self.mutex.co_acquire(proc)
         proc.advance(m.local_get_overhead)
-        proc.sync()
+        yield from proc.co_sync()
         hooks.shared_update(proc, self._race_region)
         task = self._shared.pop(0) if self._shared else None
         if task is not None:
             trace(proc, "q-pop", (self.owner, task.uid))
             proc.advance(m.local_copy_time(self._wire(task)))
             self.counters.add(proc.rank, "local_pop")
-        self.mutex.release(proc)
+        yield from self.mutex.co_release(proc)
         return task
 
-    def _maybe_release(self, proc: Proc) -> None:
+    def _co_maybe_release(self, proc: Proc):
         """Feed surplus private work to the shared portion (split move).
 
         Triggered when the shared portion has been drained (by thieves or
@@ -213,13 +244,13 @@ class SplitQueue:
 
         observe(proc, "queue_occupancy", self.size())
         with span(proc, "release", "queue", detail=k):
-            self._owner_split_update(proc, _move)
+            yield from self._co_owner_split_update(proc, _move)
         hooks.protocol(proc, "queue-release", n=k)
         edge_mark(proc, self._share_key, detail=k)
         self.counters.add(proc.rank, "release_ops")
         self.counters.add(proc.rank, "tasks_released", k)
 
-    def _reacquire(self, proc: Proc) -> None:
+    def _co_reacquire(self, proc: Proc):
         """Reclaim shared work for local execution (split move)."""
         if not self._shared:
             return
@@ -233,11 +264,11 @@ class SplitQueue:
 
         observe(proc, "queue_occupancy", self.size())
         with span(proc, "reacquire", "queue", detail=k):
-            self._owner_split_update(proc, _move)
+            yield from self._co_owner_split_update(proc, _move)
         self.counters.add(proc.rank, "reacquire_ops")
         self.counters.add(proc.rank, "tasks_reacquired", k)
 
-    def _owner_split_update(self, proc: Proc, move_fn) -> None:
+    def _co_owner_split_update(self, proc: Proc, move_fn):
         """Owner-side split-pointer adjustment.
 
         Locked mode takes the queue mutex briefly; wait-free mode uses a
@@ -245,24 +276,26 @@ class SplitQueue:
         atomics at this rank instead of blocking behind them.
         """
         if self.config.wait_free_steals:
-            self.armci.rmw(proc, self.owner, lambda: (move_fn(), None)[1])
+            yield from self.armci.co_rmw(proc, self.owner, lambda: (move_fn(), None)[1])
             return
-        self.mutex.acquire(proc)
+        yield from self.mutex.co_acquire(proc)
         proc.advance(self.engine.machine.local_lock_overhead)
-        proc.sync()
+        yield from proc.co_sync()
         move_fn()
-        self.mutex.release(proc)
+        yield from self.mutex.co_release(proc)
 
     # ------------------------------------------------------------------ #
     # Remote operations (thief / remote inserter side)
     # ------------------------------------------------------------------ #
-    def steal_from(
+    steal_from = blocking_method("co_steal_from")
+
+    def co_steal_from(
         self,
         proc: Proc,
         want: int,
         probe_first: bool = False,
         on_transfer: Callable[[], None] | None = None,
-    ) -> list[Task]:
+    ):
         """Steal up to ``want`` lowest-affinity tasks from this queue.
 
         Full one-sided protocol: lock, read metadata, bulk-get the chunk
@@ -285,15 +318,15 @@ class SplitQueue:
         m = self.engine.machine
         self.counters.add(proc.rank, "steal_attempt")
         if self.config.wait_free_steals:
-            return self._steal_waitfree(proc, want, on_transfer)
+            return (yield from self._co_steal_waitfree(proc, want, on_transfer))
         if probe_first:
-            n_shared = self.armci.get(
+            n_shared = yield from self.armci.co_get(
                 proc, self.owner, QUEUE_META_BYTES, lambda: len(self._shared)
             )
             if n_shared == 0:
                 self.counters.add(proc.rank, "steal_probe_empty")
                 return []
-        self.mutex.acquire(proc)
+        yield from self.mutex.co_acquire(proc)
 
         # The queue is contiguous, so metadata and the tail chunk arrive in
         # a single one-sided get (the paper's "several tasks ... using a
@@ -316,13 +349,13 @@ class SplitQueue:
         nbytes = QUEUE_META_BYTES + sum(
             self._wire(t) for t in self._shared[len(self._shared) - probe_k :]
         )
-        tasks = self.armci.get(proc, self.owner, nbytes, _take)
+        tasks = yield from self.armci.co_get(proc, self.owner, nbytes, _take)
         if not tasks:
-            self.mutex.release(proc)
+            yield from self.mutex.co_release(proc)
             proc.advance(m.remote_op_overhead)
             return []
-        self.armci.put(proc, self.owner, QUEUE_META_BYTES, None)  # index update
-        self.mutex.release(proc)
+        yield from self.armci.co_put(proc, self.owner, QUEUE_META_BYTES, None)  # index update
+        yield from self.mutex.co_release(proc)
         proc.advance(m.remote_op_overhead)
         self.counters.add(proc.rank, "steal_success")
         self.counters.add(proc.rank, "tasks_stolen", len(tasks))
@@ -330,12 +363,12 @@ class SplitQueue:
         edge_here(proc, self._share_key, "steal", detail=len(tasks))
         return tasks
 
-    def _steal_waitfree(
+    def _co_steal_waitfree(
         self,
         proc: Proc,
         want: int,
         on_transfer: Callable[[], None] | None = None,
-    ) -> list[Task]:
+    ):
         """Wait-free steal (§8 future work): one remote atomic reserves the
         chunk by moving the tail index; the descriptors then move with a
         single get.  No mutex is taken, so an in-progress steal never
@@ -357,12 +390,12 @@ class SplitQueue:
                     on_transfer()
             return taken
 
-        tasks = self.armci.rmw(proc, self.owner, _reserve)
+        tasks = yield from self.armci.co_rmw(proc, self.owner, _reserve)
         if not tasks:
             return []
         nbytes = sum(self._wire(t) for t in tasks)
         proc.advance(m.get_time(nbytes))  # fetch the reserved slots
-        proc.sync()
+        yield from proc.co_sync()
         proc.advance(m.remote_op_overhead)
         self.counters.add(proc.rank, "steal_success")
         self.counters.add(proc.rank, "tasks_stolen", len(tasks))
@@ -370,7 +403,9 @@ class SplitQueue:
         edge_here(proc, self._share_key, "steal", detail=len(tasks))
         return tasks
 
-    def absorb_stolen(self, proc: Proc, tasks: list[Task]) -> None:
+    absorb_stolen = blocking_method("co_absorb_stolen")
+
+    def co_absorb_stolen(self, proc: Proc, tasks: list[Task]):
         """Thief deposits a stolen chunk into its own queue.
 
         The chunk arrived in one contiguous buffer; absorbing it is a
@@ -387,9 +422,9 @@ class SplitQueue:
             # shared (and only) portion, which concurrent thieves may be
             # stealing from — so the insert takes the queue mutex like
             # every other operation in this mode.
-            self.mutex.acquire(proc)
+            yield from self.mutex.co_acquire(proc)
         proc.advance(m.local_insert_overhead + m.local_copy_time(nbytes))
-        proc.sync()
+        yield from proc.co_sync()
         self._check_capacity(len(tasks))
         if self.config.split_queues:
             region = self._private
@@ -400,12 +435,14 @@ class SplitQueue:
         region.sort(key=lambda t: -t.affinity)  # stable merge; mostly sorted
         trace(proc, "q-absorb", (self.owner, tuple(t.uid for t in tasks)))
         if self.config.split_queues:
-            self._maybe_release(proc)
+            yield from self._co_maybe_release(proc)
         else:
             edge_mark(proc, self._share_key, detail=len(tasks))
-            self.mutex.release(proc)
+            yield from self.mutex.co_release(proc)
 
-    def add_remote(self, proc: Proc, task: Task) -> None:
+    add_remote = blocking_method("co_add_remote")
+
+    def co_add_remote(self, proc: Proc, task: Task):
         """Insert a task into another process's queue (remote ``tc_add``).
 
         Protocol: lock, read tail index, put the descriptor, update the
@@ -427,13 +464,13 @@ class SplitQueue:
 
         if self.config.wait_free_steals:
             # reserve a slot with one atomic, then put the descriptor
-            self.armci.rmw(proc, self.owner, _insert)
-            self.armci.put(proc, self.owner, self._wire(task), None)
+            yield from self.armci.co_rmw(proc, self.owner, _insert)
+            yield from self.armci.co_put(proc, self.owner, self._wire(task), None)
         else:
-            self.mutex.acquire(proc)
-            self.armci.get(proc, self.owner, QUEUE_META_BYTES, None)  # read indices
-            self.armci.put(proc, self.owner, self._wire(task), _insert)
-            self.mutex.release(proc)
+            yield from self.mutex.co_acquire(proc)
+            yield from self.armci.co_get(proc, self.owner, QUEUE_META_BYTES, None)  # read indices
+            yield from self.armci.co_put(proc, self.owner, self._wire(task), _insert)
+            yield from self.mutex.co_release(proc)
         proc.advance(m.remote_op_overhead)
 
     def drain(self) -> list[Task]:

@@ -10,14 +10,17 @@ the ``done`` broadcast reaches it (§5.2).
 
 from __future__ import annotations
 
+from types import GeneratorType
+
 from repro.armci.runtime import Armci
 from repro.core.stats import ProcessStats
 from repro.core.stealing import make_victim_selector
 from repro.obs.record import Recorder, edge_here, observe, span
 from repro.obs.tracing import trace
+from repro.sim.engine import blocking
 from repro.util.errors import TaskCollectionError
 
-__all__ = ["run_process"]
+__all__ = ["run_process", "co_run_process"]
 
 #: Counter keys copied into :class:`ProcessStats` after a phase.
 _STAT_KEYS = {
@@ -33,13 +36,15 @@ _STAT_KEYS = {
 }
 
 
-def run_process(tc) -> ProcessStats:
+def co_run_process(tc):
     """Run the task-parallel phase for one rank (collective)."""
     proc = tc.proc
+    engine = proc.engine
     shared = tc._shared
     cfg = shared.config
-    armci = Armci.attach(proc.engine)
+    armci = Armci.attach(engine)
     queue = shared.queues[proc.rank]
+    callbacks = shared.callbacks[proc.rank]
 
     generation = shared.process_counts[proc.rank]
     shared.process_counts[proc.rank] += 1
@@ -48,7 +53,7 @@ def run_process(tc) -> ProcessStats:
 
     selector = make_victim_selector(cfg.steal_policy, proc)
     before = {k: shared.counters.get(proc.rank, c) for k, c in _STAT_KEYS.items()}
-    armci.barrier(proc)
+    yield from armci.co_barrier(proc)
     t_start = proc.now
     time_working = 0.0
     executed = 0
@@ -56,26 +61,42 @@ def run_process(tc) -> ProcessStats:
 
     try:
         while True:
-            # Forward any pending tokens promptly, even while busy.
-            if td.progress(proc, idle=False):
+            # Forward any pending tokens promptly, even while busy.  The
+            # plain-call probe covers the common empty-mailbox case; the
+            # coroutine form drains when tokens are actually pending.
+            done = td.progress_busy(proc)
+            if done is None:
+                done = yield from td._co_progress(proc, idle=False)
+            if done:
                 break
-            task = queue.pop_local(proc)
+            task = yield from queue.co_pop_local(proc)
             if task is not None:
                 fail_streak = 0
                 try:
-                    fn = shared.callbacks[proc.rank][task.callback]
+                    fn = callbacks[task.callback]
                 except IndexError:
                     raise TaskCollectionError(
                         f"rank {proc.rank}: task callback handle {task.callback} "
                         "not registered (collective registration mismatch?)"
                     ) from None
                 t0 = proc.now
-                trace(proc, "task-exec", task.uid)
-                edge_here(proc, ("spawn", task.uid), "spawn",
-                          detail=task.uid, clear=True)
-                with span(proc, "task", "task", detail=task.uid):
-                    fn(tc, task)
-                observe(proc, "task_time", proc.now - t0)
+                # Callbacks may be plain blocking functions or
+                # coroutine-protocol generators; drive the latter here.
+                # The dispatch is written twice so an unobserved run pays
+                # nothing for the span/trace/edge wrappers.
+                if engine.observed:
+                    trace(proc, "task-exec", task.uid)
+                    edge_here(proc, ("spawn", task.uid), "spawn",
+                              detail=task.uid, clear=True)
+                    with span(proc, "task", "task", detail=task.uid):
+                        res = fn(tc, task)
+                        if type(res) is GeneratorType:
+                            yield from res
+                    observe(proc, "task_time", proc.now - t0)
+                else:
+                    res = fn(tc, task)
+                    if type(res) is GeneratorType:
+                        yield from res
                 time_working += proc.now - t0
                 executed += 1
                 continue
@@ -83,13 +104,13 @@ def run_process(tc) -> ProcessStats:
             # root's wave step) immediately so termination tokens move at
             # network latency, then hunt for work.  A steal that succeeds
             # after voting is exactly the case §5.3's dirty marking covers.
-            if td.progress(proc, idle=True):
+            if (yield from td.co_progress(proc, idle=True)):
                 break
             if cfg.load_balancing and proc.nprocs > 1:
                 victim = selector.next_victim()
                 t_steal = proc.now
                 with span(proc, "steal", "steal", detail=victim):
-                    got = shared.queues[victim].steal_from(
+                    got = yield from shared.queues[victim].co_steal_from(
                         proc,
                         cfg.chunk_size,
                         probe_first=fail_streak > 0,
@@ -97,8 +118,13 @@ def run_process(tc) -> ProcessStats:
                     )
                     selector.report(victim, bool(got))
                     if got:
-                        td.note_steal(proc, victim)
-                        queue.absorb_stolen(proc, got)
+                        # note_steal is plain in production; checker
+                        # mutations substitute generator variants that
+                        # communicate (late mark / fence elision).
+                        res = td.note_steal(proc, victim)
+                        if type(res) is GeneratorType:
+                            yield from res
+                        yield from queue.co_absorb_stolen(proc, got)
                 if got:
                     observe(proc, "steal_latency", proc.now - t_steal)
                     observe(proc, "steal_chunk", len(got))
@@ -114,7 +140,7 @@ def run_process(tc) -> ProcessStats:
             )
             t_idle = proc.now
             with span(proc, "idle-wait", "idle", detail=fail_streak):
-                armci.wait_mailbox(proc, td.tag, backoff)
+                yield from armci.co_wait_mailbox(proc, td.tag, backoff)
             observe(proc, "idle_wait", proc.now - t_idle)
     finally:
         shared.active[proc.rank] = None
@@ -138,3 +164,6 @@ def run_process(tc) -> ProcessStats:
     for attr, key in _STAT_KEYS.items():
         setattr(stats, attr, int(shared.counters.get(proc.rank, key) - before[attr]))
     return stats
+
+
+run_process = blocking(co_run_process)

@@ -19,6 +19,10 @@ _uid_counter = itertools.count(1)
 
 #: Types whose instances need no copying: immutable all the way down.
 _ATOMIC_TYPES = (type(None), bool, int, float, complex, str, bytes, frozenset)
+#: Same set, as exact types for the hot membership test.  Subclasses of
+#: an atomic type fall through to ``deepcopy`` — the safe direction,
+#: since a subclass may add mutable state.
+_ATOMIC_TYPE_SET = frozenset(_ATOMIC_TYPES)
 
 _frozen_dataclass_cache: dict[type, bool] = {}
 
@@ -41,18 +45,18 @@ def _copy_body(body: Any) -> Any:
     only atomic values — are safe to share since neither side can mutate
     them through the reference.
     """
-    if isinstance(body, _ATOMIC_TYPES):
-        return body
     tp = type(body)
+    if tp in _ATOMIC_TYPE_SET:
+        return body
     if tp is tuple:
-        if all(isinstance(v, _ATOMIC_TYPES) for v in body):
+        if all(type(v) in _ATOMIC_TYPE_SET for v in body):
             return body
     elif _is_frozen_dataclass(tp):
         try:
             values = vars(body).values()
         except TypeError:  # slotted dataclass: no __dict__
             return copy.deepcopy(body)
-        if all(isinstance(v, _ATOMIC_TYPES) for v in values):
+        if all(type(v) in _ATOMIC_TYPE_SET for v in values):
             return body
     return copy.deepcopy(body)
 
@@ -102,11 +106,18 @@ class Task:
         return TASK_HEADER_BYTES + body
 
     def clone(self) -> "Task":
-        """Deep copy, implementing the copy-in/out semantics of ``tc_add``."""
-        return Task(
-            callback=self.callback,
-            body=_copy_body(self.body),
-            affinity=self.affinity,
-            body_size=self.body_size,
-            created_by=self.created_by,
-        )
+        """Deep copy, implementing the copy-in/out semantics of ``tc_add``.
+
+        Built via ``__new__`` plus direct attribute stores: ``tc_add``
+        clones every descriptor, so the dataclass ``__init__`` (default
+        processing, keyword binding) is measurable overhead on the
+        scheduler's hot path.
+        """
+        t = Task.__new__(Task)
+        t.callback = self.callback
+        t.body = _copy_body(self.body)
+        t.affinity = self.affinity
+        t.body_size = self.body_size
+        t.created_by = self.created_by
+        t.uid = next(_uid_counter)
+        return t

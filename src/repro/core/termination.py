@@ -40,10 +40,10 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.analyze import hooks
-from repro.armci.runtime import Armci
+from repro.armci.runtime import MAILBOX_CHECK_COST, Armci
 from repro.obs.record import Recorder, instant
 from repro.obs.tracing import trace
-from repro.sim.engine import Engine, Proc
+from repro.sim.engine import Engine, Proc, blocking_method
 from repro.sim.counters import Counters
 from repro.util.errors import TaskCollectionError
 
@@ -203,35 +203,54 @@ class TerminationDetector:
     # ------------------------------------------------------------------ #
     # Progress engine
     # ------------------------------------------------------------------ #
-    def progress(self, proc: Proc, idle: bool) -> bool:
+    progress = blocking_method("co_progress")
+
+    def co_progress(self, proc: Proc, idle: bool):
         """Drain pending tokens; vote / run the root wave logic when idle.
 
         Called from the scheduler on every iteration (cheap local mailbox
         probe while messages are absent).  Returns True once global
         termination has been detected and propagated to this rank.
         """
-        from repro.armci.runtime import MAILBOX_CHECK_COST
-
         proc.advance(MAILBOX_CHECK_COST)
+        return (yield from self._co_progress(proc, idle))
+
+    def progress_busy(self, proc: Proc):
+        """Plain-call twin of ``co_progress(idle=False)`` for the
+        scheduler's busy loop, where in steady state the mailbox is
+        empty and the generator machinery is pure overhead.
+
+        Charges the same mailbox probe and returns the termination
+        state, or ``None`` when tokens are pending — the caller must
+        then finish the iteration with :meth:`_co_progress` (the probe
+        is already charged).
+        """
+        proc._clock += MAILBOX_CHECK_COST  # advance(): constant, >= 0
+        if self.armci.mailbox_empty(proc, self.tag):
+            return self.done
+        return None
+
+    def _co_progress(self, proc: Proc, idle: bool):
+        """Token drain and wave logic; the probe cost is already charged."""
         if not self.armci.mailbox_empty(proc, self.tag):
             while True:
-                msg = self.armci.poll_mailbox(proc, self.tag)
+                msg = yield from self.armci.co_poll_mailbox(proc, self.tag)
                 if msg is None:
                     break
-                self._handle(proc, msg[0], msg[1])
+                yield from self._co_handle(proc, msg[0], msg[1])
         if self.done:
             return True
         if idle:
             if self.rank == 0:
-                self._root_step(proc)
+                yield from self._co_root_step(proc)
             else:
-                self._try_vote(proc)
+                yield from self._co_try_vote(proc)
         return self.done
 
     # ------------------------------------------------------------------ #
     # Message handling
     # ------------------------------------------------------------------ #
-    def _handle(self, proc: Proc, src: int, payload: tuple) -> None:
+    def _co_handle(self, proc: Proc, src: int, payload: tuple):
         kind = payload[0]
         if kind == "down":
             _, wave = payload
@@ -241,7 +260,7 @@ class TerminationDetector:
             self.child_tokens = {}
             hooks.protocol(proc, "wave-down", wave=wave)
             for c in self.children:
-                self._send(proc, c, ("down", wave))
+                yield from self._co_send(proc, c, ("down", wave))
         elif kind == "up":
             _, wave, color = payload
             if wave != self.wave:
@@ -253,15 +272,15 @@ class TerminationDetector:
         elif kind == "done":
             self.done = True
             for c in self.children:
-                self._send(proc, c, ("done",))
+                yield from self._co_send(proc, c, ("done",))
         else:  # pragma: no cover - defensive
             raise TaskCollectionError(f"unknown termination message {payload!r}")
 
-    def _send(self, proc: Proc, dest: int, payload: tuple) -> None:
+    def _co_send(self, proc: Proc, dest: int, payload: tuple):
         self.counters.add(proc.rank, "td_msgs")
         trace(proc, "td-msg", f"{payload[0]} -> rank {dest}")
         hooks.protocol(proc, "td-send", dest=dest, token=payload[0])
-        self.armci.post(proc, dest, self.tag, payload)
+        yield from self.armci.co_post(proc, dest, self.tag, payload)
 
     # ------------------------------------------------------------------ #
     # Voting
@@ -272,7 +291,7 @@ class TerminationDetector:
             return BLACK
         return WHITE
 
-    def _try_vote(self, proc: Proc) -> None:
+    def _co_try_vote(self, proc: Proc):
         """Non-root: pass the token up once passive with all child tokens."""
         if not self.in_wave or self.voted:
             return
@@ -284,10 +303,10 @@ class TerminationDetector:
         self.dirty = False
         self.voted = True
         self.in_wave = False
-        self._send(proc, self.parent, ("up", self.wave, color))
+        yield from self._co_send(proc, self.parent, ("up", self.wave, color))
         self.counters.add(proc.rank, "votes")
 
-    def _root_step(self, proc: Proc) -> None:
+    def _co_root_step(self, proc: Proc):
         """Root: start waves while idle; complete them when tokens return."""
         if not self.in_wave:
             self.wave += 1
@@ -297,7 +316,7 @@ class TerminationDetector:
             self.counters.add(proc.rank, "waves")
             hooks.protocol(proc, "wave-start", wave=self.wave)
             for c in self.children:
-                self._send(proc, c, ("down", self.wave))
+                yield from self._co_send(proc, c, ("down", self.wave))
         if len(self.child_tokens) < len(self.children):
             return
         color = self._combined_color(proc)
@@ -325,4 +344,4 @@ class TerminationDetector:
             self.done = True
             trace(proc, "td-done", self.wave)
             for c in self.children:
-                self._send(proc, c, ("done",))
+                yield from self._co_send(proc, c, ("done",))

@@ -18,7 +18,7 @@ import numpy as np
 from repro.analyze import hooks
 from repro.armci.runtime import Armci
 from repro.ga.distribution import BlockDistribution
-from repro.sim.engine import Engine, Proc
+from repro.sim.engine import Engine, Proc, blocking_method
 from repro.util.errors import CommError
 
 __all__ = ["GaRuntime", "GlobalArray"]
@@ -79,21 +79,23 @@ class GlobalArray:
     # ------------------------------------------------------------------ #
     # Creation
     # ------------------------------------------------------------------ #
+    create = classmethod(blocking_method("co_create"))
+
     @classmethod
-    def create(
+    def co_create(
         cls,
         proc: Proc,
         name: str,
         shape: Sequence[int],
         dtype: Any = np.float64,
-    ) -> "GlobalArray":
+    ):
         """Collectively create a global array (call from every rank)."""
         rt = GaRuntime.attach(proc.engine)
         idx = rt._create_counts[proc.rank]
         rt._create_counts[proc.rank] += 1
         shape = tuple(int(s) for s in shape)
         dtype = np.dtype(dtype)
-        proc.sync()
+        yield from proc.co_sync()
         if idx == len(rt.arrays):
             rt.arrays.append(cls(rt, idx, name, shape, dtype))
         ga = rt.arrays[idx]
@@ -102,7 +104,7 @@ class GlobalArray:
                 f"collective create mismatch on rank {proc.rank}: "
                 f"{name}{shape} vs existing {ga.name}{ga.shape}"
             )
-        rt.armci.barrier(proc)
+        yield from rt.armci.co_barrier(proc)
         return ga
 
     # ------------------------------------------------------------------ #
@@ -140,7 +142,9 @@ class GlobalArray:
         nchunks = int(np.prod(dims[:-1])) if len(dims) > 1 else 1
         return elements, max(1, nchunks)
 
-    def get(self, proc: Proc, lo: Sequence[int], hi: Sequence[int]) -> np.ndarray:
+    get = blocking_method("co_get")
+
+    def co_get(self, proc: Proc, lo: Sequence[int], hi: Sequence[int]):
         """Fetch the patch ``[lo, hi)`` into a private buffer (NGA_Get).
 
         Transfers from distinct owners are issued as non-blocking strided
@@ -152,7 +156,7 @@ class GlobalArray:
         pending = []
         for rank, (plo, phi) in self.dist.patches_intersecting(lo, hi):
             elements, nchunks = self._box_chunks(plo, phi)
-            handle = armci.nbget(
+            handle = yield from armci.co_nbget(
                 proc,
                 rank,
                 elements * self.dtype.itemsize,
@@ -164,7 +168,9 @@ class GlobalArray:
             out[self._rel(lo, plo, phi)] = armci.wait(proc, handle)
         return out
 
-    def put(self, proc: Proc, lo: Sequence[int], hi: Sequence[int], data: np.ndarray) -> None:
+    put = blocking_method("co_put")
+
+    def co_put(self, proc: Proc, lo: Sequence[int], hi: Sequence[int], data: np.ndarray):
         """Store ``data`` into the patch ``[lo, hi)`` (NGA_Put); multi-owner
         transfers overlap like :meth:`get`."""
         lo, hi = self._check_box(lo, hi)
@@ -176,25 +182,26 @@ class GlobalArray:
         for rank, (plo, phi) in self.dist.patches_intersecting(lo, hi):
             elements, nchunks = self._box_chunks(plo, phi)
             chunk = data[self._rel(lo, plo, phi)].copy()
-            pending.append(
-                armci.nbput(
-                    proc,
-                    rank,
-                    elements * self.dtype.itemsize,
-                    lambda r=rank, a=plo, b=phi, c=chunk: self._write(r, a, b, c),
-                    nchunks=nchunks,
-                )
+            handle = yield from armci.co_nbput(
+                proc,
+                rank,
+                elements * self.dtype.itemsize,
+                lambda r=rank, a=plo, b=phi, c=chunk: self._write(r, a, b, c),
+                nchunks=nchunks,
             )
+            pending.append(handle)
         armci.wait_all(proc, pending)
 
-    def acc(
+    acc = blocking_method("co_acc")
+
+    def co_acc(
         self,
         proc: Proc,
         lo: Sequence[int],
         hi: Sequence[int],
         data: np.ndarray,
         alpha: float = 1.0,
-    ) -> None:
+    ):
         """Atomically add ``alpha * data`` into the patch ``[lo, hi)`` (NGA_Acc)."""
         lo, hi = self._check_box(lo, hi)
         data = np.ascontiguousarray(data, dtype=self.dtype).reshape(
@@ -203,26 +210,32 @@ class GlobalArray:
         for rank, (plo, phi) in self.dist.patches_intersecting(lo, hi):
             nbytes = int(np.prod([h - l for l, h in zip(plo, phi)])) * self.dtype.itemsize
             chunk = data[self._rel(lo, plo, phi)].copy()
-            self._runtime.armci.acc(
+            yield from self._runtime.armci.co_acc(
                 proc,
                 rank,
                 nbytes,
                 lambda r=rank, a=plo, b=phi, c=chunk: self._accumulate(r, a, b, c, alpha),
             )
 
-    def fill(self, proc: Proc, value: float) -> None:
+    fill = blocking_method("co_fill")
+
+    def co_fill(self, proc: Proc, value: float):
         """Collectively fill the array with ``value`` (GA_Fill)."""
         hooks.shared_write(proc, ("ga", self.gid, proc.rank))
         self._patches[proc.rank][...] = value
-        self._runtime.armci.barrier(proc)
+        yield from self._runtime.armci.co_barrier(proc)
 
-    def read_full(self, proc: Proc) -> np.ndarray:
+    read_full = blocking_method("co_read_full")
+
+    def co_read_full(self, proc: Proc):
         """Fetch the whole array into a private buffer (charged get)."""
-        return self.get(proc, [0] * len(self.shape), list(self.shape))
+        return (yield from self.co_get(proc, [0] * len(self.shape), list(self.shape)))
 
-    def sync(self, proc: Proc) -> None:
+    sync = blocking_method("co_sync")
+
+    def co_sync(self, proc: Proc):
         """GA_Sync: fence + barrier."""
-        self._runtime.armci.barrier(proc)
+        yield from self._runtime.armci.co_barrier(proc)
 
     # ------------------------------------------------------------------ #
     # Test/debug access (no cost; safe only outside timed regions)

@@ -10,7 +10,7 @@ serializes at the host — the contention the paper's Figures 5/6 show.
 from __future__ import annotations
 
 from repro.armci.runtime import Armci
-from repro.sim.engine import Engine, Proc
+from repro.sim.engine import Engine, Proc, blocking_method
 
 __all__ = ["GlobalCounter"]
 
@@ -26,20 +26,24 @@ class GlobalCounter:
         self.armci = Armci.attach(engine)
         self._value = 0
 
+    create = classmethod(blocking_method("co_create"))
+
     @classmethod
-    def create(cls, proc: Proc, host_rank: int = 0) -> "GlobalCounter":
+    def co_create(cls, proc: Proc, host_rank: int = 0):
         """Collectively create a counter (call from every rank, in order)."""
         registry = proc.engine.state.setdefault(cls._KEY, {"counts": [0] * proc.nprocs, "objs": []})
         idx = registry["counts"][proc.rank]
         registry["counts"][proc.rank] += 1
-        proc.sync()
+        yield from proc.co_sync()
         if idx == len(registry["objs"]):
             registry["objs"].append(cls(proc.engine, host_rank))
         counter = registry["objs"][idx]
-        counter.armci.barrier(proc)
+        yield from counter.armci.co_barrier(proc)
         return counter
 
-    def read_inc(self, proc: Proc, amount: int = 1) -> int:
+    read_inc = blocking_method("co_read_inc")
+
+    def co_read_inc(self, proc: Proc, amount: int = 1):
         """Atomically fetch the current value and add ``amount`` (NGA_Read_inc)."""
 
         def _fetch_add() -> int:
@@ -47,14 +51,16 @@ class GlobalCounter:
             self._value += amount
             return v
 
-        return self.armci.rmw(proc, self.host_rank, _fetch_add)
+        return (yield from self.armci.co_rmw(proc, self.host_rank, _fetch_add))
 
-    def reset(self, proc: Proc) -> None:
+    reset = blocking_method("co_reset")
+
+    def co_reset(self, proc: Proc):
         """Collectively reset the counter to zero."""
-        self.armci.barrier(proc)
+        yield from self.armci.co_barrier(proc)
         if proc.rank == self.host_rank:
             self._value = 0
-        self.armci.barrier(proc)
+        yield from self.armci.co_barrier(proc)
 
     def peek(self) -> int:
         """Read the value without cost (test/debug only)."""

@@ -16,8 +16,7 @@ simulated runtime:
   gauges, and fixed-bucket histograms (steal latency, stolen chunk
   size, queue occupancy, wave round-trip, lock hold/wait).
 * **Events** (:mod:`repro.obs.tracing`): the structured event tracer,
-  re-homed here from ``repro.sim.tracing`` (old path is a deprecated
-  shim).
+  re-homed here from ``repro.sim.tracing`` (old path removed).
 * **Exporters** (:mod:`repro.obs.export`): Chrome ``trace_event`` JSON
   (open in Perfetto; causal edges drawn as flow arrows, the critical
   path as its own process), flat metrics JSON, ASCII per-rank timeline.

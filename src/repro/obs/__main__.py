@@ -278,7 +278,7 @@ def _verify_backends(args: argparse.Namespace) -> list[str]:
     if args.backend is not None and args.backend != "auto":
         return [args.backend]
     avail = available_backends()
-    return [b for b in ("thread", "greenlet") if b in avail]
+    return [b for b in ("coro", "thread", "greenlet") if b in avail]
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:

@@ -244,6 +244,7 @@ class Recorder:
                 flight=flight,
             )
             engine.state[cls._KEY] = inst
+            engine.note_observer()
         return inst
 
     @classmethod

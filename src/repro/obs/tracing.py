@@ -6,9 +6,10 @@ then render a per-rank timeline or export the raw records.  Tracing is
 off unless attached, costs nothing when off, and does not perturb
 virtual time — it is an observer, not a participant.
 
-This module historically lived at :mod:`repro.sim.tracing`; it moved
+This module historically lived at ``repro.sim.tracing``; it moved
 into the unified observability package so spans, metrics, and events
-share one home.  The old import path remains as a deprecation shim.
+share one home.  The old import path (and its one-release deprecation
+shim) is gone.
 
 Example::
 
@@ -59,6 +60,7 @@ class Tracer:
         if inst is None:
             inst = cls(engine, capacity)
             engine.state[cls._KEY] = inst
+            engine.note_observer()
         return inst
 
     @classmethod

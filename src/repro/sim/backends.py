@@ -5,11 +5,20 @@ time, chosen by the ``(virtual time, insertion sequence)`` heap — are
 independent of *how* control physically moves between process contexts.
 That mechanism lives here, behind :class:`SwitchBackend`:
 
+``coro``
+    No execution contexts at all: every process whose main function is
+    a generator function runs as a coroutine on the engine's single
+    stack, resumed by a trampoline loop with one ``send()`` call per
+    event — function-call-scale switches, no threads, no locks, no
+    dependencies.  Processes with plain blocking mains transparently
+    fall back to a compatibility OS thread, so mixed engines work.
+    Always available; the auto default.
+
 ``thread``
     One OS thread per process, handed control through raw
     ``_thread`` locks.  The scheduling decision runs in the *yielding*
     thread and control passes directly to the next process: one kernel
-    handoff per event.  Always available; the fallback default.
+    handoff per event.  Always available.
 
 ``greenlet``
     One greenlet per process on a single OS thread; switches are plain
@@ -40,6 +49,7 @@ context is ever runnable; backends only implement the transfer.
 
 from __future__ import annotations
 
+import inspect
 import os
 import threading
 import _thread
@@ -57,6 +67,7 @@ except ImportError:  # pragma: no cover - exercised where greenlet is absent
 
 __all__ = [
     "SwitchBackend",
+    "CoroBackend",
     "ThreadBackend",
     "GreenletBackend",
     "SemaphoreThreadBackend",
@@ -309,8 +320,156 @@ class GreenletBackend(SwitchBackend):
             glet.throw(SimShutdown)
 
 
+class CoroBackend(SwitchBackend):
+    """Generator trampoline: every process is a coroutine on one stack.
+
+    A process whose main function is a *generator function* gets no
+    execution context at all: :meth:`Engine._proc_coro` wraps it in a
+    generator and the trampoline loop resumes it with a single
+    ``coro.send(None)`` per event.  A context switch therefore costs
+    one frame hop per ``yield from`` level — no kernel, no locks, no
+    extra stacks, no GIL handoff — and the scheduling decision
+    (``Engine._pick``) runs in the trampoline between sends.
+
+    Processes whose mains are plain blocking functions still work:
+    they get a compatibility OS thread (the same handoff discipline as
+    :class:`ThreadBackend`) that always bounces control back through
+    the trampoline.  That fallback is what lets ``coro`` be the
+    universal auto default — legacy blocking code keeps running,
+    converted coroutine code gets function-call-scale switches, and
+    both kinds can mix inside one engine.  Blocking primitives invoked
+    *from a coroutine context* raise: suspension must reach the
+    trampoline through the ``co_*`` protocol (``yield from``), never by
+    blocking the shared stack.
+    """
+
+    name = "coro"
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine)
+        # Trampoline-side lock for compatibility threads: a thread proc
+        # hands control back here instead of directly to its successor.
+        self._tramp_lock = _thread.allocate_lock()
+        self._tramp_lock.acquire()
+        self._next: "Proc | None" = None
+        self._have_threads = False
+
+    def spawn(self, proc: "Proc", main: Callable[[], None]) -> None:
+        fn, _args = self.engine._mains[proc.rank]
+        if inspect.isgeneratorfunction(fn):
+            proc._coro = self.engine._proc_coro(proc)
+            return
+        # Compatibility path: a plain blocking main gets an OS thread.
+        self._have_threads = True
+        lock = _thread.allocate_lock()
+        lock.acquire()
+        proc._lock = lock
+
+        def body() -> None:
+            lock.acquire()  # wait for the first resume
+            main()
+
+        proc._thread = threading.Thread(
+            target=body, name=f"simproc-{proc.rank}", daemon=True
+        )
+        proc._thread.start()
+
+    def switch(self, src: "Proc | None", dst: "Proc | None") -> None:
+        if src is None:
+            self._loop(dst)
+            return
+        if src._coro is not None:
+            raise RuntimeError(
+                f"blocking primitive reached the coro backend from the "
+                f"coroutine context of rank {src.rank}: a generator main "
+                f"(and every task body or callback it runs) must suspend "
+                f"through the co_* coroutine protocol (yield from), not "
+                f"the blocking API"
+            )
+        # Compatibility thread: hand control to the trampoline (which
+        # forwards to dst), then block until resumed.
+        self._next = dst
+        self._tramp_lock.release()
+        src._lock.acquire()
+
+    def _loop(self, dst: "Proc | None") -> None:
+        """The trampoline: runs in the engine context until completion.
+
+        One iteration per event: resume ``dst``, then ask the engine
+        which process runs next.  Compatibility threads get a real
+        handoff and return control here at their next suspension.
+        """
+        engine = self.engine
+        pick = engine._pick
+        while dst is not None:
+            coro = dst._coro
+            if coro is None:
+                dst._lock.release()
+                self._tramp_lock.acquire()
+                dst = self._next
+                continue
+            try:
+                coro.send(None)
+            except StopIteration:
+                # The proc's main returned; its epilogue already ran
+                # inside _proc_coro.
+                if engine._shutdown or engine._failure is not None:
+                    return
+                dst = pick()
+                continue
+            dst = pick()
+
+    def exit_to(self, dst: "Proc | None") -> None:
+        # Only compatibility threads exit through here (coroutine procs
+        # return from their generator instead); route via the trampoline.
+        self._next = dst
+        self._tramp_lock.release()
+
+    def kill(self, proc: "Proc") -> None:
+        coro = proc._coro
+        if coro is None:
+            thread = proc._thread
+            if thread is None or proc.finished:
+                return
+            if not thread.is_alive():
+                return  # never started: nothing to unwind (see ThreadBackend)
+            while not proc.finished:
+                proc._lock.release()
+                self._tramp_lock.acquire()
+            return
+        if proc.finished:
+            return
+        state = inspect.getgeneratorstate(coro)
+        if state == inspect.GEN_CREATED:
+            # Never resumed: no frames to unwind — the coroutine
+            # analogue of a thread whose start() failed.
+            coro.close()
+            return
+        if state == inspect.GEN_CLOSED:
+            return
+        while not proc.finished:
+            try:
+                # Raises SimShutdown at the proc's suspended yield; the
+                # epilogue inside _proc_coro marks it finished.  The loop
+                # guards against user code that catches and re-yields.
+                coro.throw(SimShutdown)
+            except (StopIteration, SimShutdown):
+                break
+
+    def finalize(self) -> None:
+        if not self._have_threads:
+            return
+        for proc in self.engine.procs:
+            thread = proc._thread
+            if thread is not None and thread.ident is not None:
+                # ident is None for a thread whose start() failed; joining
+                # it would raise rather than reap anything.
+                thread.join(timeout=5.0)
+
+
 #: Constructible backends by CLI/env name.
 BACKENDS: dict[str, type[SwitchBackend]] = {
+    "coro": CoroBackend,
     "thread": ThreadBackend,
     "greenlet": GreenletBackend,
     "thread-sem": SemaphoreThreadBackend,
@@ -324,7 +483,9 @@ def greenlet_available() -> bool:
 
 def available_backends() -> tuple[str, ...]:
     """Backends usable in this environment, fastest first."""
-    names = ["greenlet"] if _greenlet is not None else []
+    names = ["coro"]
+    if _greenlet is not None:
+        names.append("greenlet")
     names += ["thread", "thread-sem"]
     return tuple(names)
 
@@ -333,17 +494,17 @@ def resolve_backend_name(name: str | None = "auto") -> str:
     """Resolve a backend request to a concrete backend name.
 
     ``"auto"`` (or None/empty) consults ``$REPRO_SIM_BACKEND``; if that
-    is unset or itself ``auto``, picks ``greenlet`` when importable and
-    ``thread`` otherwise.  Explicit names are validated: asking for
-    ``greenlet`` without the package installed raises instead of
-    silently falling back, so benchmark results can't lie about the
-    backend they ran on.
+    is unset or itself ``auto``, picks ``coro`` — the generator
+    trampoline, which needs nothing the standard library doesn't have.
+    Explicit names are validated: asking for ``greenlet`` without the
+    package installed raises instead of silently falling back, so
+    benchmark results can't lie about the backend they ran on.
     """
     name = name or "auto"
     if name == "auto":
         name = os.environ.get(ENV_BACKEND, "").strip() or "auto"
     if name == "auto":
-        return "greenlet" if _greenlet is not None else "thread"
+        return "coro"
     if name not in BACKENDS:
         raise ValueError(
             f"unknown simulation backend {name!r}; choose from "

@@ -1,13 +1,16 @@
 """Deterministic discrete-event engine with direct-handoff processes.
 
-The engine runs ``nprocs`` simulated processes.  Each process executes a
-plain (blocking-style) Python function in its own execution context —
-an OS thread or a greenlet, depending on the switch backend — but the
-engine only ever lets **one** context run at a time: the process whose
-virtual clock is smallest.  This gives us the best of both worlds:
+The engine runs ``nprocs`` simulated processes.  Each process executes
+either a plain (blocking-style) Python function in its own execution
+context — an OS thread or a greenlet, depending on the switch backend —
+or a *generator* function driven as a coroutine on the engine's single
+stack (the ``coro`` backend's trampoline).  Either way the engine only
+ever lets **one** context run at a time: the process whose virtual
+clock is smallest.  This gives us the best of both worlds:
 
 * Runtime and application code reads exactly like the paper's C API —
-  ordinary function calls, no generators or callbacks.
+  ordinary function calls — or, on the coroutine path, the same calls
+  threaded through ``yield from``.
 * Execution is fully deterministic: events are ordered by
   ``(virtual time, insertion sequence)``, so a given seed always produces
   the same interleaving, the same steal pattern, and the same timings —
@@ -30,6 +33,20 @@ another process later calls :meth:`Engine.wake` on it.  If every
 remaining process is parked, the engine raises
 :class:`~repro.util.errors.SimDeadlockError` naming the blocked
 processes — protocol bugs fail loudly instead of hanging.
+
+Coroutine protocol
+------------------
+
+Every blocking primitive has a ``co_``-prefixed twin (:meth:`Proc.co_sync`,
+:meth:`Proc.co_park`, :meth:`Proc.co_park_until`) that **yields** the
+process instead of switching execution contexts.  The runtime layers
+thread these through ``yield from``, so a generator main function
+suspends all the way down to its driver — the ``coro`` backend's
+trampoline, where resuming a process is a single ``send()`` call — with
+one frame hop per level and no OS involvement.  The classic blocking
+forms are thin wrappers that :func:`drive` the coroutine forms with
+inline dispatches, so both calling conventions execute the *same*
+scheduling code and stay bit-for-bit equivalent on every backend.
 
 Switching costs
 ---------------
@@ -54,8 +71,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from collections.abc import Callable
+from collections.abc import Callable, Generator, Iterable
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Any
 
 import numpy as np
@@ -64,7 +82,74 @@ from repro.sim.backends import SwitchBackend, make_backend
 from repro.sim.machines import MachineSpec, uniform_cluster
 from repro.util.errors import SimDeadlockError, SimLimitError, SimShutdown
 
-__all__ = ["Engine", "Proc", "SchedulingStrategy", "SimResult", "run_spmd"]
+__all__ = [
+    "Engine",
+    "Proc",
+    "SchedulingStrategy",
+    "SimResult",
+    "blocking",
+    "blocking_method",
+    "drive",
+    "run_spmd",
+]
+
+
+def drive(gen: Generator) -> Any:
+    """Run a runtime coroutine to completion with blocking dispatches.
+
+    The adapter between the two calling conventions: a ``co_``-style
+    generator yields each process that must suspend, and on backends
+    where the caller owns a real execution context (thread, greenlet,
+    thread-sem) the suspension is simply a blocking dispatch performed
+    inline.  Returns the generator's return value.  Because the
+    coroutine itself runs the exact same scheduling code either way,
+    blocking and coroutine callers are bit-for-bit equivalent.
+    """
+    try:
+        send = gen.send
+        while True:
+            proc = send(None)
+            proc.engine._dispatch(proc)
+    except StopIteration as stop:
+        return stop.value
+    except BaseException:
+        # Unwind the suspended frames deterministically (finally blocks,
+        # span context managers) before propagating — e.g. SimShutdown
+        # raised out of a dispatch during teardown.
+        gen.close()
+        raise
+
+
+def blocking(co_fn: Callable[..., Generator]) -> Callable[..., Any]:
+    """Blocking wrapper for a module-level coroutine function."""
+    name = co_fn.__name__
+    public = name[3:] if name.startswith("co_") else name
+
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        return drive(co_fn(*args, **kwargs))
+
+    wrapper.__name__ = public
+    wrapper.__qualname__ = co_fn.__qualname__.replace(name, public)
+    wrapper.__doc__ = f"Blocking form of :func:`{name}` (see that function)."
+    return wrapper
+
+
+def blocking_method(co_name: str) -> Callable[..., Any]:
+    """Blocking wrapper that resolves method ``co_name`` at call time.
+
+    Late binding keeps monkey-patched coroutine methods (the model
+    checker's mutations) visible through the blocking API as well.
+    Works for classmethods too: ``create =
+    classmethod(blocking_method("co_create"))``.
+    """
+    public = co_name[3:] if co_name.startswith("co_") else co_name
+
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        return drive(getattr(self, co_name)(*args, **kwargs))
+
+    wrapper.__name__ = public
+    wrapper.__doc__ = f"Blocking form of :meth:`{co_name}` (see that method)."
+    return wrapper
 
 
 class SchedulingStrategy:
@@ -154,12 +239,15 @@ class Proc:
         "_gen",
         "_pending",
         "_clock",
+        "_cpu_factor",
         "_wake_payload",
         "_exc",
         "_result",
         "_lock",
         "_thread",
         "_glet",
+        "_coro",
+        "_switch",
     )
 
     def __init__(self, engine: Engine, rank: int, rng: np.random.Generator) -> None:
@@ -171,6 +259,10 @@ class Proc:
         self._gen = 0  # resume generation; stale heap entries are skipped
         self._pending = 0  # heap entries carrying the current generation
         self._clock = 0.0
+        # The machine model is fixed at engine construction, so this
+        # rank's relative CPU speed is a constant: cache it out of the
+        # per-task :meth:`compute` path.
+        self._cpu_factor = engine.machine.cpu_factor(rank)
         self._wake_payload: Any = None
         self._exc: BaseException | None = None
         self._result: Any = None
@@ -178,6 +270,10 @@ class Proc:
         self._lock = None
         self._thread = None
         self._glet = None
+        self._coro = None
+        # Reusable one-element tuple for co_sync's suspend path: lets the
+        # non-elided fast path return without allocating.
+        self._switch = (self,)
         # Free-form per-process scratch used by the comm layers to attach
         # per-rank state (mailboxes, registered regions, ...).
         self.state: dict[str, Any] = {}
@@ -222,7 +318,7 @@ class Proc:
         The machine model scales the cost by this rank's relative speed,
         which is how heterogeneous (Opteron/Xeon) clusters are modelled.
         """
-        self.advance(reference_seconds * self.engine.machine.cpu_factor(self.rank))
+        self.advance(reference_seconds * self._cpu_factor)
 
     def sync(self) -> None:
         """Yield to the engine; resume when this process is globally earliest.
@@ -236,6 +332,20 @@ class Proc:
         process's clock, the process would be resumed immediately — the
         engine counts the scheduling event but skips the context switch
         entirely (sync elision).
+        """
+        for _ in self.co_sync():
+            self.engine._dispatch(self)
+
+    def co_sync(self) -> Iterable["Proc"]:
+        """Coroutine twin of :meth:`sync`: use as ``yield from proc.co_sync()``.
+
+        Returns an iterable that is *empty* when the sync elides —
+        nothing is yielded, nothing is allocated — and yields this
+        process exactly once when another process must run first.  The
+        driver (the ``coro`` backend's trampoline, or :func:`drive` on
+        thread-style backends) performs one dispatch per yielded
+        process, so both calling conventions run identical scheduling
+        code.
         """
         engine = self.engine
         delay_fn = engine._delay_fn
@@ -264,21 +374,25 @@ class Proc:
                     break  # earliest live event is later: we'd run next
                 # Another process must run first: full handoff.
                 engine._schedule(self, clock, None)
-                engine._dispatch(self)
-                return
+                return self._switch
             # Heap empty or earliest live event strictly later — an
             # elided event: counted, limit-checked, but never switched.
             engine.events += 1
             if engine._limits:
                 engine._check_limits(clock)
-            return
+            return ()
         engine._schedule(self, self._clock, None)
-        engine._dispatch(self)
+        return self._switch
 
     def sleep(self, seconds: float) -> None:
         """Advance the clock by ``seconds`` and yield to the engine."""
         self.advance(seconds)
         self.sync()
+
+    def co_sleep(self, seconds: float) -> Iterable["Proc"]:
+        """Coroutine twin of :meth:`sleep` (``yield from proc.co_sleep(s)``)."""
+        self.advance(seconds)
+        return self.co_sync()
 
     def park(self, where: str = "park") -> Any:
         """Suspend until another process calls :meth:`Engine.wake` on us.
@@ -290,12 +404,16 @@ class Proc:
         Returns:
             The payload passed to :meth:`Engine.wake`.
         """
+        return drive(self.co_park(where))
+
+    def co_park(self, where: str = "park") -> Generator["Proc", None, Any]:
+        """Coroutine twin of :meth:`park`; returns the wake payload."""
         engine = self.engine
         self.blocked_at = where
         engine._parked += 1
         if engine._on_park is not None:
             engine._on_park(self, where)
-        engine._dispatch(self)
+        yield self
         return self._wake_payload
 
     def park_until(self, wake_time: float, where: str = "park_until") -> Any:
@@ -306,13 +424,19 @@ class Proc:
         the timeout, whichever comes first.  Returns the wake payload, or
         None on timeout.
         """
+        return drive(self.co_park_until(wake_time, where))
+
+    def co_park_until(
+        self, wake_time: float, where: str = "park_until"
+    ) -> Generator["Proc", None, Any]:
+        """Coroutine twin of :meth:`park_until`."""
         engine = self.engine
         self.blocked_at = where
         engine._parked += 1
         if engine._on_park is not None:
             engine._on_park(self, where)
         engine._schedule(self, wake_time, None)
-        engine._dispatch(self)
+        yield self
         return self._wake_payload
 
 
@@ -347,11 +471,11 @@ class Engine:
                 decision points; None (default) and any strategy with
                 ``explores = False`` reproduce the historical
                 deterministic ``(time, seq)`` order bit-for-bit.
-            backend: Context-switch backend: ``"thread"``,
+            backend: Context-switch backend: ``"coro"``, ``"thread"``,
                 ``"greenlet"``, ``"thread-sem"``, or ``"auto"`` (the
                 default — honours ``$REPRO_SIM_BACKEND``, then picks
-                greenlet when importable, thread otherwise).  All
-                backends produce identical results.
+                ``coro``, the generator trampoline).  All backends
+                produce identical results.
         """
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -382,6 +506,12 @@ class Engine:
         self._explores = False
         self._elide = True
         self._limits = max_events is not None or max_time is not None
+        # True once any observer (tracer, recorder, race detector) has
+        # attached — see :meth:`note_observer`.  Hot paths gate their
+        # observability hook calls on this flag so an unobserved run
+        # pays one attribute read per site instead of a function call
+        # plus a dict probe.
+        self.observed = False
         # Global shared-state namespace used by comm layers (keyed by layer).
         self.state: dict[str, Any] = {}
         # Called with the failure just before run() re-raises it —
@@ -402,6 +532,17 @@ class Engine:
         """Assign the same main function to every rank (SPMD style)."""
         for r in range(self.nprocs):
             self.spawn(r, fn, *args)
+
+    def note_observer(self) -> None:
+        """Record that an observer attached (tracer, recorder, detector).
+
+        Flips :attr:`observed`, the flag hot paths consult before calling
+        the observability hooks.  The hooks still probe their own
+        ``state`` key, so setting this spuriously costs time, never
+        correctness — and it is never cleared: a detached observer just
+        returns the hot paths to calling no-op hooks.
+        """
+        self.observed = True
 
     # ------------------------------------------------------------------ #
     # Scheduling internals
@@ -501,14 +642,17 @@ class Engine:
             )
         return candidates[idx]
 
-    def _dispatch(self, src: Proc | None, dying: bool = False) -> None:
-        """Resume the next event's process, switching out of ``src``.
+    def _pick(self) -> Proc | None:
+        """Choose, account, and return the next process to resume.
 
-        Runs in ``src``'s context (``None`` = the engine context).  On
-        deadlock, limit violation, or a strategy error the failure is
-        recorded and control returns to the engine context, which
-        re-raises from :meth:`run`.  Returns without switching when the
-        chosen process is ``src`` itself.
+        This *is* the scheduling decision: select the next live event,
+        bump the chosen process's generation, count the event, check
+        limits, and advance its clock.  Returns ``None`` when the engine
+        context should resume instead (completion, deadlock, limit
+        violation, or a strategy error — failures are recorded in
+        ``self._failure`` for :meth:`run` to re-raise).  Called from
+        whichever context is yielding: a blocking dispatch or the coro
+        backend's trampoline.
         """
         dst: Proc | None = None
         failure: BaseException | None = None
@@ -553,6 +697,18 @@ class Engine:
             if self._failure is None:
                 self._failure = failure
             dst = None
+        return dst
+
+    def _dispatch(self, src: Proc | None, dying: bool = False) -> None:
+        """Resume the next event's process, switching out of ``src``.
+
+        Runs in ``src``'s context (``None`` = the engine context).  On
+        deadlock, limit violation, or a strategy error the failure is
+        recorded and control returns to the engine context, which
+        re-raises from :meth:`run`.  Returns without switching when the
+        chosen process is ``src`` itself.
+        """
+        dst = self._pick()
         if dst is src:
             return  # self-resume (or the engine context staying put)
         if dying:
@@ -562,15 +718,8 @@ class Engine:
         if self._shutdown and src is not None:
             raise SimShutdown()
 
-    def _proc_main(self, proc: Proc, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
-        """Body of one process context: run ``fn``, then hand off."""
-        if not self._shutdown:
-            try:
-                proc._result = fn(proc, *args)
-            except SimShutdown:
-                pass
-            except BaseException as exc:  # noqa: BLE001 - surfaced by Engine.run
-                proc._exc = exc
+    def _finish(self, proc: Proc) -> None:
+        """Per-process epilogue shared by thread-style and coroutine mains."""
         proc.finished = True
         self._active -= 1
         self._finish_times[proc.rank] = proc._clock
@@ -578,10 +727,50 @@ class Engine:
         proc._pending = 0
         if proc._exc is not None and self._failure is None:
             self._failure = proc._exc
+
+    def _proc_main(self, proc: Proc, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
+        """Body of one process context: run ``fn``, then hand off.
+
+        Generator main functions work on every backend: here (thread,
+        greenlet, thread-sem) the returned generator is simply driven
+        with blocking dispatches.
+        """
+        if not self._shutdown:
+            try:
+                res = fn(proc, *args)
+                if isinstance(res, GeneratorType):
+                    res = drive(res)
+                proc._result = res
+            except SimShutdown:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - surfaced by Engine.run
+                proc._exc = exc
+        self._finish(proc)
         if self._shutdown or self._failure is not None:
             self.backend.exit_to(None)
         else:
             self._dispatch(proc, dying=True)
+
+    def _proc_coro(self, proc: Proc) -> Generator[Proc, None, None]:
+        """Coroutine body of one process: the coro backend's unit of work.
+
+        A generator the trampoline resumes with ``send()``; it yields
+        every time ``proc`` suspends and returns when the main function
+        finishes.  The epilogue runs *inside* the generator so a
+        teardown ``throw(SimShutdown)`` still accounts the process.
+        """
+        fn, args = self._mains[proc.rank]
+        if not self._shutdown:
+            try:
+                res = fn(proc, *args)
+                if isinstance(res, GeneratorType):
+                    res = yield from res
+                proc._result = res
+            except SimShutdown:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - surfaced by Engine.run
+                proc._exc = exc
+        self._finish(proc)
 
     # ------------------------------------------------------------------ #
     # Main loop

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 from repro.analyze.race import RaceDetector
 from repro.obs.record import Recorder, causal_edge
 from repro.obs.tracing import trace
+from repro.sim.engine import blocking_method
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine, Proc
@@ -51,12 +52,14 @@ class SimMutex:
         m = self.engine.machine
         return m.local_lock_overhead if proc.rank == self.host_rank else m.unlock_time()
 
-    def acquire(self, proc: Proc) -> None:
+    acquire = blocking_method("co_acquire")
+
+    def co_acquire(self, proc: Proc):
         """Block (in virtual time) until ``proc`` holds the mutex."""
         rec = Recorder.of(self.engine)
         t_req = proc.now
         proc.advance(self._request_cost(proc))
-        proc.sync()
+        yield from proc.co_sync()
         det = RaceDetector.of(self.engine)
         if det is not None:
             # Pre-grant request: no yield happens between here and the
@@ -68,7 +71,7 @@ class SimMutex:
         else:
             self.contended_acquires += 1
             self._waiters.append(proc)
-            proc.park(f"mutex {self.name}@{self.host_rank}")
+            yield from proc.co_park(f"mutex {self.name}@{self.host_rank}")
             assert self.holder is proc
             if rec is not None:
                 rec.complete_span(
@@ -88,12 +91,14 @@ class SimMutex:
             rec.metrics.observe("lock_wait", proc.now - t_req, rank=proc.rank)
             self._acquired_at = proc.now
 
-    def release(self, proc: Proc) -> None:
+    release = blocking_method("co_release")
+
+    def co_release(self, proc: Proc):
         """Release the mutex and grant it to the next FIFO waiter, if any."""
         if self.holder is not proc:
             raise RuntimeError(f"rank {proc.rank} released {self.name} it does not hold")
         proc.advance(self._release_cost(proc))
-        proc.sync()
+        yield from proc.co_sync()
         det = RaceDetector.of(self.engine)
         if det is not None:
             det.on_mutex_release(proc, self)
@@ -136,17 +141,19 @@ class SimBarrier:
         self._generation = 0
         self.waits = 0
 
-    def wait(self, proc: Proc) -> None:
+    wait = blocking_method("co_wait")
+
+    def co_wait(self, proc: Proc):
         """Arrive at the barrier; returns when all ranks have arrived."""
         self.waits += 1
-        proc.sync()
+        yield from proc.co_sync()
         if self.nprocs == 1:
             proc.advance(self.cost_fn(1))
             return
         self._arrived.append(proc)
         if len(self._arrived) < self.nprocs:
             gen = self._generation
-            proc.park(f"barrier(gen={gen})")
+            yield from proc.co_park(f"barrier(gen={gen})")
             return
         # Last arrival: release everyone at the modelled completion time.
         release_at = proc.now + self.cost_fn(self.nprocs)
@@ -158,4 +165,4 @@ class SimBarrier:
         for w in waiters:
             self.engine.wake(w, release_at)
         proc.advance(release_at - proc.now)
-        proc.sync()
+        yield from proc.co_sync()

@@ -14,7 +14,12 @@ import pytest
 
 from repro.check.runner import run_once
 from repro.check.scenarios import SCENARIOS, make_scenario
-from repro.check.strategies import RandomWalk, ReplayStrategy
+from repro.check.strategies import (
+    DelayInjector,
+    PctStrategy,
+    RandomWalk,
+    ReplayStrategy,
+)
 from repro.obs.scenarios import fingerprint, run_target
 from repro.sim.backends import (
     BACKENDS,
@@ -24,7 +29,7 @@ from repro.sim.backends import (
     resolve_backend_name,
 )
 from repro.sim.engine import Engine, run_spmd
-from repro.util.errors import SimDeadlockError
+from repro.util.errors import SimDeadlockError, SimShutdown
 
 ALL_BACKENDS = available_backends()
 ALT_BACKENDS = [b for b in ALL_BACKENDS if b != "thread"]
@@ -46,8 +51,10 @@ def _span_stream(recorder):
 # --------------------------------------------------------------------- #
 def test_available_backends_always_include_thread():
     names = available_backends()
+    assert "coro" in names
     assert "thread" in names
     assert "thread-sem" in names
+    assert names[0] == "coro"  # fastest first
     assert set(names) <= set(BACKENDS)
 
 
@@ -65,8 +72,9 @@ def test_resolve_env_override(monkeypatch):
 
 def test_resolve_auto_without_env(monkeypatch):
     monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
-    expected = "greenlet" if greenlet_available() else "thread"
-    assert resolve_backend_name("auto") == expected
+    # The trampoline needs nothing beyond the stdlib, so auto always
+    # resolves to it.
+    assert resolve_backend_name("auto") == "coro"
 
 
 def test_explicit_greenlet_without_package_raises(monkeypatch):
@@ -224,6 +232,156 @@ def test_teardown_is_idempotent_after_success():
     result = eng.run()
     assert result.returns == [0, 1]
     eng._teardown()  # second teardown must be a no-op
+
+
+# --------------------------------------------------------------------- #
+# Exploration and replay on the trampoline backend
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "make_strat",
+    [
+        lambda: RandomWalk(seed=11),
+        lambda: PctStrategy(seed=11),
+        lambda: DelayInjector(seed=11),
+    ],
+    ids=["random-walk", "pct", "delay"],
+)
+@pytest.mark.parametrize("scenario", ["steals", "termination"])
+def test_exploration_strategies_on_coro_match_thread(
+    scenario, make_strat, monkeypatch
+):
+    """Every exploring strategy must drive the trampoline backend through
+    the identical schedule it drives OS threads through."""
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "thread")
+    s_thread = make_strat()
+    base = run_once(make_scenario(scenario), s_thread, engine_seed=0)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "coro")
+    s_coro = make_strat()
+    other = run_once(make_scenario(scenario), s_coro, engine_seed=0)
+    assert other.events == base.events
+    assert s_coro.decisions == s_thread.decisions
+
+
+def test_replay_on_coro_reproduces_coro_recorded_trace(monkeypatch):
+    """A trace recorded on the trampoline replays on the trampoline."""
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "coro")
+    walk = RandomWalk(seed=23)
+    base = run_once(make_scenario("steals"), walk, engine_seed=0)
+    replay = ReplayStrategy(list(walk.decisions))
+    replayed = run_once(make_scenario("steals"), replay, engine_seed=0)
+    assert replayed.events == base.events
+
+
+class _CountingExplorer:
+    """Minimal exploring strategy: picks the engine-default candidate."""
+
+    explores = True
+
+    def __init__(self):
+        self.chooses = 0
+
+    def begin(self, engine):
+        pass
+
+    def choose(self, candidates):
+        self.chooses += 1
+        return 0
+
+    def delay(self, proc, site):
+        return 0.0
+
+    def on_park(self, proc, where):
+        pass
+
+
+def test_explores_disables_sync_elision():
+    """An exploring strategy must see every sync as a decision point:
+    the engine turns elision off so no handoff is skipped."""
+
+    def main(proc):
+        for _ in range(5):
+            proc.advance(1e-6 * (proc.rank + 1))
+            yield from proc.co_sync()
+
+    plain = Engine(2, backend="coro")
+    plain.spawn_all(main)
+    plain.run()
+    assert plain._elide is True  # default path keeps eliding
+
+    strat = _CountingExplorer()
+    eng = Engine(2, strategy=strat, backend="coro")
+    eng.spawn_all(main)
+    eng.run()
+    assert eng._explores is True
+    assert eng._elide is False
+    assert strat.chooses > 0
+    # Elided events are still counted, so a default-order explorer
+    # reproduces the plain run's event count exactly.
+    assert eng.events == plain.events
+
+
+# --------------------------------------------------------------------- #
+# Teardown robustness for generator contexts (coro backend)
+# --------------------------------------------------------------------- #
+def test_teardown_survives_unstarted_generators():
+    """Ranks whose coroutines were never resumed (the generator analogue
+    of a thread whose start() failed) must close cleanly, not hang."""
+    import inspect
+
+    def main(proc):
+        if proc.rank == 0:
+            raise RuntimeError("immediate failure")
+        yield from proc.co_sleep(1e-6)
+
+    eng = Engine(4, backend="coro")
+    eng.spawn_all(main)
+    with pytest.raises(RuntimeError, match="immediate failure"):
+        eng.run()  # must raise promptly, not hang in teardown
+    for proc in eng.procs[1:]:
+        assert inspect.getgeneratorstate(proc._coro) == inspect.GEN_CLOSED
+
+
+def test_teardown_kills_half_finished_generators():
+    """Procs suspended mid-generator when another rank fails are unwound
+    via SimShutdown thrown at their suspension point."""
+    import inspect
+
+    def main(proc):
+        if proc.rank == 0:
+            yield from proc.co_sleep(1e-6)
+            raise ValueError("boom")
+        yield from proc.co_park("forever")
+
+    eng = Engine(3, backend="coro")
+    eng.spawn_all(main)
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+    for proc in eng.procs[1:]:
+        assert proc.finished
+        assert inspect.getgeneratorstate(proc._coro) == inspect.GEN_CLOSED
+
+
+def test_coro_kill_runs_user_cleanup():
+    """A generator may catch SimShutdown for cleanup; the kill loop keeps
+    control until it actually finishes."""
+    cleaned = []
+
+    def main(proc):
+        if proc.rank == 0:
+            yield from proc.co_sleep(1e-6)
+            raise ValueError("boom")
+        try:
+            yield from proc.co_park("parked-for-shutdown")
+        except SimShutdown:
+            cleaned.append(proc.rank)
+            raise
+
+    eng = Engine(2, backend="coro")
+    eng.spawn_all(main)
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+    assert cleaned == [1]
+    assert eng.procs[1].finished
 
 
 # --------------------------------------------------------------------- #

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core import Task, TaskCollection
 from repro.sim.engine import Engine
 from repro.obs.tracing import Tracer, trace
@@ -111,22 +113,14 @@ def test_dropped_events_counted_in_counts_render_reports_total():
     assert "5 events dropped" in filtered
 
 
-def test_old_import_path_is_a_deprecated_shim():
+def test_old_import_paths_are_gone():
+    """The rename shims (``repro.sim.tracing``, ``repro.sim.trace``)
+    lived for one release and have been removed; the old paths must now
+    fail loudly rather than silently resolve to stale modules."""
     import importlib
     import sys
-    import warnings
 
-    sys.modules.pop("repro.sim.tracing", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        shim = importlib.import_module("repro.sim.tracing")
-    import repro.obs.tracing as new
-
-    assert shim.Tracer is new.Tracer
-    assert shim.TraceEvent is new.TraceEvent
-    assert shim.trace is new.trace
-    assert any(
-        issubclass(w.category, DeprecationWarning)
-        and "repro.obs.tracing" in str(w.message)
-        for w in caught
-    )
+    for old in ("repro.sim.tracing", "repro.sim.trace"):
+        sys.modules.pop(old, None)
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module(old)
