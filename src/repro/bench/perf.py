@@ -21,8 +21,11 @@ series differ *only* in switch mechanism.
 The committed record also carries a ``baselines`` section — reference
 measurements (e.g. the pre-redesign engine at its seed commit) that
 regeneration preserves rather than re-measures, so speedup claims stay
-anchored to the numbers they were made against.  See
-``docs/performance.md`` for how to read the record.
+anchored to the numbers they were made against.  ``--profile`` adds a
+``notes.profile`` section: per-scenario host wall-time attribution by
+runtime subsystem from the sampling self-profiler
+(:mod:`repro.bench.selfprof`).  See ``docs/performance.md`` for how to
+read the record.
 """
 
 from __future__ import annotations
@@ -79,7 +82,8 @@ MICRO_BENCHMARKS = ("switch",)
 
 
 def measure_scenario(
-    name: str, backend: str, reps: int = 3, nprocs: int = 4, seed: int = 0
+    name: str, backend: str, reps: int = 3, nprocs: int = 4, seed: int = 0,
+    profile: bool = False, profile_interval: float = 0.001,
 ) -> dict[str, Any]:
     """Measure one scenario on one backend; return a record entry.
 
@@ -87,6 +91,12 @@ def measure_scenario(
     interference from the host) alongside the mean.  Events/second uses
     the best run.  The run itself is virtual-time deterministic, so
     ``events`` is identical across reps and backends by construction.
+
+    With ``profile=True`` an *extra*, untimed run executes under the
+    sampling self-profiler (:mod:`repro.bench.selfprof`) and its
+    subsystem attribution table rides along as ``entry["profile"]`` —
+    kept out of the timed reps so sampling overhead never pollutes the
+    recorded walls.
     """
     walls = []
     events = None
@@ -104,7 +114,7 @@ def measure_scenario(
                 f"({events} vs {run.events}); engine is nondeterministic"
             )
     best = min(walls)
-    return {
+    entry = {
         "scenario": name,
         "backend": backend,
         "nprocs": nprocs,
@@ -115,6 +125,15 @@ def measure_scenario(
         "mean_wall_s": sum(walls) / len(walls),
         "events_per_sec": events / best if best > 0 else 0.0,
     }
+    if profile:
+        from repro.bench.selfprof import SubsystemProfiler
+
+        prof = SubsystemProfiler(interval=profile_interval).start()
+        try:
+            run_target(name, nprocs=nprocs, seed=seed, record=False)
+        finally:
+            entry["profile"] = prof.stop()
+    return entry
 
 
 def measure_micro_switch(
@@ -196,6 +215,8 @@ def run_perf(
     nprocs: int = 4,
     seed: int = 0,
     verbose: bool = True,
+    profile: bool = False,
+    profile_interval: float = 0.001,
 ) -> list[dict[str, Any]]:
     """Measure ``scenarios`` x ``backends`` and return record entries."""
     import os
@@ -207,7 +228,10 @@ def run_perf(
         for backend in backends:
             os.environ["REPRO_SIM_BACKEND"] = backend
             for name in scenarios:
-                entry = measure_scenario(name, backend, reps=reps, nprocs=nprocs, seed=seed)
+                entry = measure_scenario(
+                    name, backend, reps=reps, nprocs=nprocs, seed=seed,
+                    profile=profile, profile_interval=profile_interval,
+                )
                 entries.append(entry)
                 if verbose:
                     print(
@@ -215,6 +239,10 @@ def run_perf(
                         f"best {entry['best_wall_s'] * 1e3:8.1f} ms  "
                         f"{entry['events_per_sec']:>10,.0f} ev/s"
                     )
+                    if "profile" in entry:
+                        from repro.bench.selfprof import render_attribution
+
+                        print(render_attribution(entry["profile"], indent="      "))
     finally:
         if saved is None:
             os.environ.pop("REPRO_SIM_BACKEND", None)
@@ -237,20 +265,39 @@ def write_wall_json(
     entries: list[dict[str, Any]],
     path: str | Path,
     baselines: list[dict[str, Any]] | None = None,
+    notes: dict[str, Any] | None = None,
 ) -> Path:
     """Write ``BENCH_wall.json``, preserving any committed baselines.
 
     If ``path`` already exists and carries a ``baselines`` section,
     those entries survive regeneration verbatim (unless ``baselines``
     is passed explicitly) — they are reference points measured once,
-    not part of the sweep.
+    not part of the sweep.  A ``notes`` section is preserved the same
+    way; per-entry self-profiler tables (``--profile``) are lifted out
+    of the entries into ``notes.profile`` keyed ``scenario/backend``,
+    so the entry schema stays purely measurements.
     """
     path = Path(path)
-    if baselines is None and path.exists():
+    existing: dict[str, Any] = {}
+    if path.exists():
         try:
-            baselines = json.loads(path.read_text()).get("baselines")
+            existing = json.loads(path.read_text())
         except (OSError, ValueError):
-            baselines = None
+            existing = {}
+    if baselines is None:
+        baselines = existing.get("baselines")
+    if notes is None:
+        notes = existing.get("notes")
+    profiles: dict[str, Any] = {}
+    cleaned = []
+    for e in entries:
+        if "profile" in e:
+            e = dict(e)
+            profiles[f"{e['scenario']}/{e['backend']}"] = e.pop("profile")
+        cleaned.append(e)
+    entries = cleaned
+    if profiles:
+        notes = {**(notes or {}), "profile": profiles}
     doc = {
         "schema": WALL_SCHEMA,
         "host": _host_info(),
@@ -258,6 +305,8 @@ def write_wall_json(
     }
     if baselines:
         doc["baselines"] = baselines
+    if notes:
+        doc["notes"] = notes
     validate_wall_json(doc)
     # Atomic write: a run interrupted mid-emission (or racing a fleet
     # campaign) can never leave a torn record behind.
@@ -311,6 +360,14 @@ def main(argv: list[str] | None = None) -> int:
                              "microbenchmark (default: %(default)s)")
     parser.add_argument("--backends", nargs="*",
                         help="backends to measure (default: all available)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run each scenario once under the sampling "
+                             "self-profiler and persist the subsystem "
+                             "attribution under notes.profile in the record")
+    parser.add_argument("--profile-interval", type=float, default=0.001,
+                        metavar="SEC",
+                        help="host-time sampling interval for --profile "
+                             "(default: %(default)s)")
     parser.add_argument("--reps", type=int, default=None,
                         help="repetitions per measurement (default: 3, quick: 1)")
     parser.add_argument("--nprocs", type=int, default=4,
@@ -334,7 +391,9 @@ def main(argv: list[str] | None = None) -> int:
                             reps=reps)
     else:
         entries = run_perf(scenarios, backends=backends, reps=reps,
-                           nprocs=args.nprocs, seed=args.seed)
+                           nprocs=args.nprocs, seed=args.seed,
+                           profile=args.profile,
+                           profile_interval=args.profile_interval)
         if not args.only and not args.quick:
             # The full sweep carries the switch microbenchmark too, so
             # the regenerated record always prices the raw primitive

@@ -18,6 +18,11 @@ Examples::
     # per-worker process tracks (open fleet_trace.json in Perfetto)
     python -m repro.fleet trace --target queue steals uts-small --jobs 2
 
+    # same, plus per-worker telemetry feeds merged into one timeline
+    # (inspect with: python -m repro.obs top fleet_live.jsonl)
+    python -m repro.fleet trace --target queue steals --jobs 2 \
+        --live fleet_live.jsonl
+
 ``repro.check explore --jobs N`` and ``repro.bench --jobs N`` forward
 here, so the fleet is reachable from the tools it parallelizes.
 Passing ``--flight-dir DIR`` to any campaign arms the crash flight
@@ -172,6 +177,8 @@ def trace_main(args: argparse.Namespace) -> int:
         nprocs=args.nprocs,
         seed=args.seed,
         window=args.window,
+        live=bool(args.live),
+        live_interval=args.live_interval,
     )
     sched = FleetScheduler(
         args.jobs,
@@ -201,6 +208,19 @@ def trace_main(args: argparse.Namespace) -> int:
         return 2
     out = merge_spills(items, args.trace)
     print(f"merged trace -> {out} ({len(items)} process tracks)")
+    if args.live:
+        from repro.obs.live import merge_feeds
+
+        feeds = [
+            (res.worker, res.payload["live_path"])
+            for res in sorted(report.completed, key=lambda r: r.key)
+            if res.ok and res.payload.get("live_path")
+        ]
+        merged = merge_feeds(feeds, args.live)
+        print(
+            f"merged live feed -> {args.live} "
+            f"({len(merged['frames'])} frames from {len(feeds)} workers)"
+        )
     return 0 if report.ok else 2
 
 
@@ -287,6 +307,12 @@ def add_trace_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--window", type=float, default=None, metavar="SEC",
                    help="rolling metrics window interval (virtual seconds)")
+    p.add_argument("--live", default=None, metavar="PATH",
+                   help="publish per-worker telemetry feeds and merge "
+                   "them into one cluster-wide feed at PATH")
+    p.add_argument("--live-interval", type=float, default=None, metavar="SEC",
+                   help="telemetry snapshot interval (virtual seconds; "
+                   "default: --window, else 100us)")
     p.add_argument("--out", default="scioto-fleet-trace",
                    help="working directory for per-run spills "
                    "(default: scioto-fleet-trace/)")

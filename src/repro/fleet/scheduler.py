@@ -32,7 +32,10 @@ Fleet-level metrics stream through the existing observability registry
 ``jobs_done``/``steals``/``requeues`` counters, ``job_wall``
 histograms, and a ``fleet_occupancy`` gauge; worker-side metric
 snapshots riding on job results are merged in via
-:meth:`~repro.obs.metrics.MetricsRegistry.merge_dict`.
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_dict`.  Histogram
+snapshots carry their quantile sketches, and sketch merging is exact
+(bucket-wise add), so fleet-aggregated percentiles equal what one
+process observing every worker's stream would report.
 """
 
 from __future__ import annotations

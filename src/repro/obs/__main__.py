@@ -9,8 +9,15 @@ Subcommands:
   constant-memory spill sink (sharded JSONL; ``--trace`` then packs
   the shards), ``--window SEC`` adds rolling metrics windows to the
   metrics JSON, and ``--flight PATH`` arms the crash flight recorder.
+  ``--live PATH`` additionally publishes interval telemetry frames to
+  an append-only JSONL feed (``repro-obs-live/1``).
 * ``pack`` — convert a sealed spill directory (``repro-obs-stream/1``)
   into a Perfetto-loadable Chrome trace without materializing the run.
+* ``top`` — render a live (or finished) telemetry feed as a terminal
+  status table; ``--follow`` keeps tailing while a run is in flight.
+* ``slo`` — evaluate a declarative SLO spec (``repro-obs-slo/1``) over
+  a telemetry feed: per-objective compliance plus multi-window
+  burn-rate alerts; ``--fail-on-burn`` makes it a CI gate.
 * ``summarize`` — post-hoc report over an exported trace JSON.
 * ``critical-idle`` — the longest per-rank idle gaps in an exported
   trace, with the spans that bounded them.
@@ -32,14 +39,19 @@ Subcommands:
   with causal edges off and require the span/instant stream to be
   unchanged (edges are metadata-only), and run through the streaming
   spill sink and require *its* span/instant stream to match the
-  in-memory recorder's bit-for-bit.  Any dropped record fails the
-  check.  Repeats per available context-switch backend.  Exits 1 on
-  any divergence.
+  in-memory recorder's bit-for-bit.  A fourth pass enables the live
+  telemetry bus and requires both the fingerprint to stay unchanged
+  and the emitted feed to be byte-identical across backends.  Any
+  dropped record fails the check.  Repeats per available
+  context-switch backend.  Exits 1 on any divergence.
 
 Examples::
 
     python -m repro.obs run uts-small --trace out.json --metrics m.json
     python -m repro.obs run uts-medium --stream spill/ --trace out.json
+    python -m repro.obs run uts-small --live feed.jsonl --window 0.0001
+    python -m repro.obs top feed.jsonl --follow
+    python -m repro.obs slo feed.jsonl --spec slo.json --fail-on-burn
     python -m repro.obs pack spill/ --trace out.json
     python -m repro.obs run steals --timeline
     python -m repro.obs summarize out.json --top 10
@@ -96,6 +108,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stream_dir=args.stream,
         window=args.window,
         flight=flight,
+        live_path=args.live,
+        live_interval=args.live_interval,
     )
     rec = run.recorder
     assert rec is not None
@@ -115,6 +129,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  {k}: {v}")
     if args.stream:
         print(f"span spill (repro-obs-stream/1) -> {args.stream}")
+    if args.live:
+        assert rec.live is not None
+        print(
+            f"live telemetry (repro-obs-live/1) -> {args.live} "
+            f"({rec.live.frames_emitted} frames at "
+            f"{rec.live.interval * 1e6:.6g} us virtual intervals)"
+        )
     if args.trace:
         if args.stream:
             from repro.obs.stream import pack
@@ -255,6 +276,63 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.live import read_feed, render_top
+
+    def render_once() -> tuple[str, int]:
+        doc = read_feed(args.feed)
+        return render_top(doc, counters_top=args.counters), len(doc["frames"])
+
+    if not args.follow:
+        try:
+            text, _ = render_once()
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+    seen = -1
+    try:
+        while True:
+            try:
+                text, nframes = render_once()
+            except FileNotFoundError:
+                text, nframes = f"waiting for {args.feed} ...", -1
+            except ValueError as exc:
+                text, nframes = f"error: {exc}", -1
+            if nframes != seen:
+                seen = nframes
+                if sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(text, flush=True)
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.live import read_feed
+    from repro.obs.slo import evaluate, load_spec, render_report
+
+    try:
+        specs = load_spec(args.spec)
+        doc = read_feed(args.feed)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = evaluate(doc["frames"], specs, label=args.label)
+    print(render_report(results))
+    burning = [r.spec.name for r in results if r.burning]
+    violated = [r.spec.name for r in results if not r.met]
+    if args.fail_on_burn and (burning or violated):
+        bad = sorted(set(burning) | set(violated))
+        print(f"\nSLO FAILURE: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     try:
         report = diff_files(args.old, args.new, threshold=args.threshold)
@@ -286,6 +364,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     backends = _verify_backends(args)
     bad = 0
     checks = 0
+    # target -> (first backend, its live feed bytes): every other
+    # backend must reproduce the feed byte-for-byte.
+    feeds: dict[str, tuple[str, bytes]] = {}
     saved = os.environ.get(ENV_BACKEND)
     try:
         for backend in backends:
@@ -343,9 +424,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                         print(f"{name}[{backend}]: streamed span stream "
                               f"DIVERGED from in-memory recorder")
                         continue
+                    # The live telemetry bus is an observer too: its
+                    # engine tick must leave the fingerprint unchanged,
+                    # and the feed it emits must be byte-identical on
+                    # every backend (frames derive from virtual time).
+                    feed_path = Path(td) / "live.jsonl"
+                    lived = run_target(
+                        name, nprocs=args.nprocs, seed=args.seed,
+                        record=True, live_path=feed_path,
+                    )
+                    assert lived.recorder is not None
+                    if fingerprint(lived) != base:
+                        bad += 1
+                        print(f"{name}[{backend}]: DIVERGED with live "
+                              f"telemetry on")
+                        continue
+                    feed = feed_path.read_bytes()
+                    if name not in feeds:
+                        feeds[name] = (backend, feed)
+                    elif feeds[name][1] != feed:
+                        bad += 1
+                        print(f"{name}[{backend}]: live feed DIVERGED from "
+                              f"backend {feeds[name][0]!r} (not bit-"
+                              f"deterministic)")
+                        continue
                     drops = (
                         on.recorder.dropped + off.recorder.dropped
-                        + streamed.recorder.dropped
+                        + streamed.recorder.dropped + lived.recorder.dropped
                     )
                 if drops:
                     bad += 1
@@ -353,8 +458,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                           f"capacity — recording is incomplete")
                     continue
                 print(f"{name}[{backend}]: ok (fingerprint and span stream "
-                      f"unchanged by recording, causal edges, and streaming; "
-                      f"0 dropped)")
+                      f"unchanged by recording, causal edges, streaming, and "
+                      f"live telemetry; feed bit-deterministic; 0 dropped)")
     finally:
         if saved is None:
             os.environ.pop(ENV_BACKEND, None)
@@ -397,6 +502,13 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--window", type=float, metavar="SEC",
                        help="rolling metrics windows at this virtual-time "
                        "interval (exported under 'windows' in --metrics)")
+    p_run.add_argument("--live", metavar="PATH",
+                       help="publish live telemetry frames to this append-"
+                       "only JSONL feed (repro-obs-live/1); tail it with "
+                       "'repro.obs top PATH --follow'")
+    p_run.add_argument("--live-interval", type=float, metavar="SEC",
+                       help="virtual-time interval between telemetry frames "
+                       "(default: --window, else 100us)")
     p_run.add_argument("--flight", metavar="PATH",
                        help="arm the crash flight recorder; the most recent "
                        "spans/instants per rank are dumped here on failure")
@@ -452,6 +564,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="scale a blame category, e.g. steal=0.5 "
                         "(repeatable)")
     p_what.set_defaults(fn=_cmd_whatif)
+
+    p_top = sub.add_parser(
+        "top", help="status table over a live telemetry feed"
+    )
+    p_top.add_argument("feed", help="repro-obs-live/1 JSONL feed (live or "
+                       "finished; merged fleet feeds supported)")
+    p_top.add_argument("--follow", action="store_true",
+                       help="keep tailing the feed, re-rendering as frames "
+                       "arrive (ctrl-C to stop)")
+    p_top.add_argument("--poll", type=float, default=0.5, metavar="SEC",
+                       help="host-time poll interval with --follow "
+                       "(default 0.5)")
+    p_top.add_argument("--counters", type=int, default=6,
+                       help="top-N counters to show per stream (default 6)")
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_slo = sub.add_parser(
+        "slo", help="evaluate SLO burn rates over a telemetry feed"
+    )
+    p_slo.add_argument("feed", help="repro-obs-live/1 JSONL feed")
+    p_slo.add_argument("--spec", required=True, metavar="PATH",
+                       help="SLO spec JSON (repro-obs-slo/1)")
+    p_slo.add_argument("--label", metavar="NAME",
+                       help="restrict scoring to frames with this label")
+    p_slo.add_argument("--fail-on-burn", action="store_true",
+                       help="exit 1 when any alert fires or any objective "
+                       "misses its compliance target")
+    p_slo.set_defaults(fn=_cmd_slo)
 
     p_diff = sub.add_parser(
         "diff", help="compare two benchmark/metrics JSON documents"

@@ -14,7 +14,11 @@ stable keys, and reports every relative change beyond a threshold:
   anything else is direction-neutral and only *warns* on change.
 * ``repro-obs-metrics/1|2`` — counter totals and histogram count are
   determinism signals (any change warns); histogram mean/p95 and
-  gauge min/max regress upward beyond the threshold.
+  gauge min/max regress upward beyond the threshold.  A schema /2
+  ``windows`` series additionally diffs each metric's *worst window*
+  (maximum windowed p95/p99 across the run), with direction inferred
+  from the metric name's unit — latency-style metrics regress upward,
+  count-style ones only warn.
 * ``repro-bench-wall/1`` — entries matched by ``(scenario, backend,
   nprocs, seed)``; ``events`` must be *exactly* equal (the simulated
   schedule is deterministic — a drift here is a bug, not noise) and
@@ -197,6 +201,66 @@ def _diff_metrics(report: DiffReport, old: dict, new: dict) -> None:
     for k in sorted(ogauge.keys() | ngauge.keys()):
         o, n = ogauge.get(k, {}), ngauge.get(k, {})
         _compare(report, f"gauge/{k}", "max", o.get("max"), n.get("max"), "down")
+    _diff_windows(report, old.get("windows") or {}, new.get("windows") or {})
+
+
+def _metric_direction(name: str) -> str:
+    """Direction for a windowed metric, inferred from its name's unit.
+
+    Latency-style metrics (seconds) regress upward; count-style ones
+    (chunk sizes, occupancy) are direction-neutral and only warn.
+    """
+    text = name.lower()
+    if any(h in text for h in ("latency", "wait", "hold", "time", "rtt", "wall")):
+        return "down"
+    return "neutral"
+
+
+def _diff_windows(report: DiffReport, old: dict, new: dict) -> None:
+    """Compare two rolling-window series (schema /2 ``windows`` key).
+
+    Window boundaries are virtual-time-deterministic, but two documents
+    may legitimately differ in which windows are non-empty, so series
+    are not matched window-by-window.  Instead each metric is reduced to
+    its *worst window* — the maximum windowed p95/p99 across the run —
+    which is exactly the tail-spike signal the windows exist to expose,
+    plus the total windowed count and the number of active windows as
+    determinism-style change signals.
+    """
+    if not old and not new:
+        return
+    _compare(report, "windows", "interval", old.get("interval"),
+             new.get("interval"), exact=True)
+
+    def aggregate(doc: dict) -> dict[str, dict]:
+        agg: dict[str, dict] = {}
+        for w in doc.get("series", []):
+            for name, h in w.get("histograms", {}).items():
+                a = agg.setdefault(
+                    name, {"count": 0, "windows": 0, "p95": None, "p99": None}
+                )
+                a["count"] += h.get("count", 0)
+                a["windows"] += 1
+                for q in ("p95", "p99"):
+                    v = h.get(q)
+                    if v is not None and (a[q] is None or v > a[q]):
+                        a[q] = v
+        return agg
+
+    oagg, nagg = aggregate(old), aggregate(new)
+    for name in sorted(oagg.keys() | nagg.keys()):
+        key = f"windows/{name}"
+        o, n = oagg.get(name), nagg.get(name)
+        if o is None or n is None:
+            _compare(report, key, "count",
+                     None if o is None else o["count"],
+                     None if n is None else n["count"])
+            continue
+        direction = _metric_direction(name)
+        _compare(report, key, "windows", o["windows"], n["windows"])
+        _compare(report, key, "count", o["count"], n["count"])
+        _compare(report, key, "worst p95", o["p95"], n["p95"], direction)
+        _compare(report, key, "worst p99", o["p99"], n["p99"], direction)
 
 
 def _hist_quantile(h: dict, q: float) -> float | None:

@@ -15,8 +15,8 @@ Three views of one recording:
   makespan-determining chain is visible above the rank tracks.
   Timestamps are microseconds of *virtual* time.
 * :func:`metrics_dict` — a flat JSON document with counter totals,
-  per-rank counters, gauges, and histograms, suitable for diffing
-  between runs.
+  per-rank counters, gauges, and histograms (each carrying its
+  mergeable quantile sketch), suitable for diffing between runs.
 * :func:`ascii_timeline` + :func:`summary_table` — terminal rendering:
   one row per rank, one character per time bucket, colored by the
   dominant span category, plus a per-rank breakdown of where virtual
@@ -54,7 +54,12 @@ __all__ = [
 
 #: Schema tag stamped into every metrics JSON document.  ``/2`` added
 #: p50/p95/p99 to each histogram; readers accept both (see
-#: :func:`repro.obs.analyze.load_metrics_json`).
+#: :func:`repro.obs.analyze.load_metrics_json`).  Each ``/2`` histogram
+#: also carries a ``sketch`` key — the serialized
+#: :class:`~repro.obs.metrics.QuantileSketch` — so documents from
+#: different runs/workers merge into exact percentile estimates
+#: (:meth:`~repro.obs.metrics.MetricsRegistry.merge_dict`); readers
+#: that predate the key ignore it.
 METRICS_SCHEMA = "repro-obs-metrics/2"
 
 #: Causal-edge kinds exported as Perfetto flow arrows by default.

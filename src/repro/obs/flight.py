@@ -87,6 +87,9 @@ class FlightRecorder:
         self.records_seen = 0
         self.dumps = 0
         self.context: dict[str, Any] = {}
+        #: Most recent live-telemetry frame (set by the telemetry bus);
+        #: included in dumps so a post-mortem shows load state at death.
+        self.latest_frame: dict | None = None
 
     def _ring(self, rank: int) -> deque:
         ring = self._rings.get(rank)
@@ -122,6 +125,10 @@ class FlightRecorder:
             },
         )
 
+    def record_frame(self, frame: dict) -> None:
+        """Remember the latest live-telemetry frame (not ring-counted)."""
+        self.latest_frame = frame
+
     def _record(self, rank: int, entry: dict) -> None:
         self._ring(rank).append(entry)
         self.records_seen += 1
@@ -139,7 +146,17 @@ class FlightRecorder:
             "pid": os.getpid(),
             "records_seen": self.records_seen,
             "per_rank": self.per_rank,
+            # Arm-time configuration, so a dump is self-describing even
+            # when the invocation that armed it is long gone.
+            "config": {
+                "path": str(self.path),
+                "per_rank": self.per_rank,
+                "flush_every": self.flush_every,
+            },
             "context": {**self.context, **(context or {})},
+            # Load state at death: the last frame the telemetry bus
+            # published before the failure (None when the bus is off).
+            "telemetry": self.latest_frame,
             "rings": {
                 str(rank): list(self._rings[rank])
                 for rank in sorted(self._rings)

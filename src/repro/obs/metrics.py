@@ -32,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "RollingWindows",
     "DEFAULT_BUCKETS",
     "TIME_BUCKETS",
@@ -39,6 +40,131 @@ __all__ = [
     "HOST_TIME_BUCKETS",
     "WIDE_COUNT_BUCKETS",
 ]
+
+
+class QuantileSketch:
+    """A DDSketch-style log-bucketed quantile sketch.
+
+    Bucket key ``i`` holds values ``v`` with ``gamma**(i-1) < v <=
+    gamma**i`` where ``gamma = (1 + alpha) / (1 - alpha)``; reporting the
+    bucket midpoint ``2 * gamma**i / (gamma + 1)`` keeps every estimate
+    within relative error ``alpha`` of the true value (boundary values may
+    round into the adjacent bucket, which still lands exactly at the
+    ``alpha`` bound).  Values at or below :data:`MIN_VALUE` — including
+    zeros, which queue-occupancy streams produce — collapse into a
+    dedicated zero bucket reported as ``0.0``.
+
+    Buckets are sparse integers in a dict, so memory is
+    ``O(log(max/min) / alpha)`` regardless of observation count, and the
+    structure is exactly mergeable (bucket-wise add, used for fleet
+    aggregation) and subtractable (bucket-wise delta, used for rolling
+    windows).  Everything is integer arithmetic plus one ``math.log`` per
+    observation: deterministic for a given value stream.
+    """
+
+    #: Values at or below this (including non-positive) use the zero bucket.
+    MIN_VALUE = 1e-12
+
+    __slots__ = ("alpha", "gamma", "_log_gamma", "buckets", "zero", "count")
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"sketch alpha must be in (0, 1), got {alpha!r}")
+        self.alpha = float(alpha)
+        self.gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+        self._log_gamma = math.log(self.gamma)
+        self.buckets: dict[int, int] = {}
+        self.zero = 0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if value <= self.MIN_VALUE:
+            self.zero += 1
+        else:
+            key = math.ceil(math.log(value) / self._log_gamma)
+            self.buckets[key] = self.buckets.get(key, 0) + 1
+        self.count += 1
+
+    def value_at(self, key: int) -> float:
+        """Midpoint estimate for bucket ``key``."""
+        return 2.0 * self.gamma**key / (self.gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate within relative error ``alpha``.
+
+        Uses the same rank rule as :func:`_bucket_quantile`: the first
+        bucket whose cumulative count reaches ``q * count``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = self.zero
+        if seen >= target and self.zero:
+            return 0.0
+        for key in sorted(self.buckets):
+            seen += self.buckets[key]
+            if seen >= target:
+                return self.value_at(key)
+        return self.value_at(max(self.buckets)) if self.buckets else 0.0
+
+    # -- merge / delta -------------------------------------------------- #
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other``'s buckets into this sketch (exact)."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketch with alpha={other.alpha} into alpha={self.alpha}"
+            )
+        for key, c in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + c
+        self.zero += other.zero
+        self.count += other.count
+
+    def snapshot(self) -> tuple[dict[int, int], int, int]:
+        """Frozen bucket state, for windowed deltas via :meth:`delta`."""
+        return (dict(self.buckets), self.zero, self.count)
+
+    def delta(self, snap: tuple[dict[int, int], int, int]) -> "QuantileSketch":
+        """A new sketch holding only observations made since ``snap``."""
+        prev_buckets, prev_zero, prev_count = snap
+        out = QuantileSketch(self.alpha)
+        for key, c in self.buckets.items():
+            d = c - prev_buckets.get(key, 0)
+            if d:
+                out.buckets[key] = d
+        out.zero = self.zero - prev_zero
+        out.count = self.count - prev_count
+        return out
+
+    # -- serialization -------------------------------------------------- #
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "zero": self.zero,
+            "count": self.count,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+    def merge_dict(self, doc: dict) -> None:
+        """Fold a serialized sketch (:meth:`to_dict` form) into this one."""
+        if doc.get("alpha") != self.alpha:
+            raise ValueError(
+                f"cannot merge sketch with alpha={doc.get('alpha')} "
+                f"into alpha={self.alpha}"
+            )
+        for key_str, c in doc.get("buckets", {}).items():
+            key = int(key_str)
+            self.buckets[key] = self.buckets.get(key, 0) + c
+        self.zero += doc.get("zero", 0)
+        self.count += doc.get("count", 0)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "QuantileSketch":
+        out = cls(doc.get("alpha", 0.01))
+        out.merge_dict(doc)
+        return out
 
 
 class CounterFamily:
@@ -114,6 +240,10 @@ class Histogram:
     ``edges[i-1] < v <= edges[i]`` (``counts[len(edges)]`` is the
     overflow bucket).  Per-rank count/sum are kept alongside the global
     distribution so summaries can show which ranks dominate.
+
+    Every observation also feeds a :class:`QuantileSketch`, so readers
+    that need relative-error-bounded percentiles (rolling windows, the
+    live telemetry bus) are not limited to bucket-edge resolution.
     """
 
     def __init__(self, name: str, edges: tuple[float, ...]) -> None:
@@ -126,6 +256,7 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.sketch = QuantileSketch()
         self._rank_count: dict[int, int] = defaultdict(int)
         self._rank_sum: dict[int, float] = defaultdict(float)
 
@@ -136,6 +267,7 @@ class Histogram:
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self.sketch.observe(value)
         if rank is not None:
             self._rank_count[rank] += 1
             self._rank_sum[rank] += value
@@ -176,6 +308,7 @@ class Histogram:
             "p50": self.quantile(0.50) if self.count else None,
             "p95": self.quantile(0.95) if self.count else None,
             "p99": self.quantile(0.99) if self.count else None,
+            "sketch": self.sketch.to_dict(),
             "per_rank": {
                 str(r): {"count": self._rank_count[r], "sum": self._rank_sum[r]}
                 for r in sorted(self._rank_count)
@@ -322,6 +455,9 @@ class MetricsRegistry:
                 hist.sum += h["sum"]
                 hist.min = min(hist.min, h["min"])
                 hist.max = max(hist.max, h["max"])
+            sketch_doc = h.get("sketch")
+            if sketch_doc is not None:
+                hist.sketch.merge_dict(sketch_doc)
             for rank_str, rc in h.get("per_rank", {}).items():
                 rank = into_rank if into_rank is not None else int(rank_str)
                 hist._rank_count[rank] += rc["count"]
@@ -349,8 +485,9 @@ class RollingWindows:
 
     The registry keeps *cumulative* distributions; this class snapshots
     them at a fixed virtual-time ``interval`` and emits the per-window
-    *delta* — count, sum, mean, and bucket-resolution p50/p95/p99 — as a
-    time series.  ``roll(now)`` must be called (by the recorder's metric
+    *delta* — count, sum, mean, and sketch-resolution p50/p95/p99 (see
+    :class:`QuantileSketch`; within relative error ``alpha`` rather than
+    3-buckets-per-decade edge resolution) — as a time series.  ``roll(now)`` must be called (by the recorder's metric
     hooks) before each observation is recorded, so a window ``[t0, t1)``
     holds exactly the observations whose virtual timestamps fall inside
     it.  Windows with no observations are skipped; boundaries depend
@@ -372,6 +509,8 @@ class RollingWindows:
         self._last = 0.0
         # name -> (counts copy, count, sum) at the last window boundary
         self._snap: dict[str, tuple[list[int], int, float]] = {}
+        # name -> sketch snapshot at the last window boundary
+        self._sketch_snap: dict[str, tuple[dict[int, int], int, int]] = {}
         self._finalized = False
 
     def roll(self, now: float) -> None:
@@ -392,18 +531,28 @@ class RollingWindows:
             dcount = h.count - prev_count
             if dcount:
                 dsum = h.sum - prev_sum
-                dcounts = [c - p for c, p in zip(h.counts, prev_counts)]
+                dsketch = h.sketch.delta(self._sketch_snap.get(name, ({}, 0, 0)))
+                if dsketch.count == dcount:
+                    p50, p95, p99 = (dsketch.quantile(q) for q in (0.50, 0.95, 0.99))
+                else:
+                    # Registries merged from pre-sketch documents can have
+                    # sketch counts lagging bucket counts; fall back to
+                    # bucket-edge resolution rather than report a quantile
+                    # over a partial sketch.
+                    dcounts = [c - p for c, p in zip(h.counts, prev_counts)]
+                    p50 = _bucket_quantile(h.edges, dcounts, dcount, 0.50, h.max)
+                    p95 = _bucket_quantile(h.edges, dcounts, dcount, 0.95, h.max)
+                    p99 = _bucket_quantile(h.edges, dcounts, dcount, 0.99, h.max)
                 histograms[name] = {
                     "count": dcount,
                     "sum": dsum,
                     "mean": dsum / dcount,
-                    # Overflow observations report the cumulative max: the
-                    # true windowed max is not retained (bucket resolution).
-                    "p50": _bucket_quantile(h.edges, dcounts, dcount, 0.50, h.max),
-                    "p95": _bucket_quantile(h.edges, dcounts, dcount, 0.95, h.max),
-                    "p99": _bucket_quantile(h.edges, dcounts, dcount, 0.99, h.max),
+                    "p50": p50,
+                    "p95": p95,
+                    "p99": p99,
                 }
             self._snap[name] = (list(h.counts), h.count, h.sum)
+            self._sketch_snap[name] = h.sketch.snapshot()
         if histograms:
             self.windows.append({"t0": self._t0, "t1": t1, "histograms": histograms})
         self._t0 = t1

@@ -189,6 +189,7 @@ class Recorder:
         sink: "Any | None" = None,
         window: float | None = None,
         flight: "Any | None" = None,
+        live: "Any | None" = None,
     ) -> None:
         from repro.obs.stream import MemorySink  # sibling; cycle-free at call time
 
@@ -211,6 +212,11 @@ class Recorder:
         self._failure_hooked = False
         if flight is not None:
             self.set_flight(flight)
+        # Live telemetry bus: binds to the engine's per-event tick and
+        # publishes interval frames to its feed (repro-obs-live/1).
+        self.live = live
+        if live is not None:
+            live.bind(self)
         # Incremental tallies so exports never need the full span stream.
         self.span_count = 0
         self.instant_count = 0
@@ -235,13 +241,14 @@ class Recorder:
         sink: "Any | None" = None,
         window: float | None = None,
         flight: "Any | None" = None,
+        live: "Any | None" = None,
     ) -> "Recorder":
         """Enable recording on ``engine`` (idempotent)."""
         inst = engine.state.get(cls._KEY)
         if inst is None:
             inst = cls(
                 engine, capacity, edges=edges, sink=sink, window=window,
-                flight=flight,
+                flight=flight, live=live,
             )
             engine.state[cls._KEY] = inst
             engine.note_observer()
@@ -300,6 +307,8 @@ class Recorder:
         self._finished = True
         if self.windows is not None:
             self.windows.finalize()
+        if self.live is not None:
+            self.live.finish()
         self.sink.seal(
             {
                 "nprocs": self.engine.nprocs,

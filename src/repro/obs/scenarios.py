@@ -74,9 +74,13 @@ def _attach(
     sink: Any | None = None,
     window: float | None = None,
     flight: Any | None = None,
+    live: Any | None = None,
 ) -> tuple[Recorder | None, Tracer | None]:
     rec = (
-        Recorder.attach(engine, edges=edges, sink=sink, window=window, flight=flight)
+        Recorder.attach(
+            engine, edges=edges, sink=sink, window=window, flight=flight,
+            live=live,
+        )
         if record
         else None
     )
@@ -209,6 +213,8 @@ def run_target(
     window: float | None = None,
     flight: Any | None = None,
     sink: Any | None = None,
+    live_path: Any | None = None,
+    live_interval: float | None = None,
 ) -> ObsRun:
     """Run target ``name`` and return its :class:`ObsRun`.
 
@@ -222,8 +228,12 @@ def run_target(
     Streaming options: ``stream_dir`` records through a constant-memory
     :class:`~repro.obs.stream.SpillSink` spilling sharded JSONL there
     (sealed with a footer index when the run finishes); ``window``
-    enables rolling metrics windows at that virtual-time interval; and
-    ``flight`` installs a :class:`~repro.obs.flight.FlightRecorder`.
+    enables rolling metrics windows at that virtual-time interval;
+    ``flight`` installs a :class:`~repro.obs.flight.FlightRecorder`; and
+    ``live_path`` publishes interval telemetry frames there as an
+    append-only ``repro-obs-live/1`` feed (interval from
+    ``live_interval``, falling back to ``window`` and then the bus
+    default).
     """
     try:
         runner = TARGETS[name]
@@ -237,9 +247,18 @@ def run_target(
         from repro.obs.stream import DEFAULT_SHARD_SIZE, SpillSink
 
         sink = SpillSink(stream_dir, shard_size=shard_size or DEFAULT_SHARD_SIZE)
+    live = None
+    if live_path is not None:
+        from repro.obs.live import DEFAULT_INTERVAL, TelemetryBus
+
+        live = TelemetryBus(
+            live_path,
+            interval=live_interval or window or DEFAULT_INTERVAL,
+            label=name,
+        )
     run = runner(
         nprocs, seed, record, events, edges, sink=sink, window=window,
-        flight=flight,
+        flight=flight, live=live,
     )
     if run.recorder is not None:
         run.recorder.finish()

@@ -1,0 +1,259 @@
+"""Declarative SLOs with multi-window burn-rate alerting over live feeds.
+
+An SLO spec is a JSON document (:data:`SLO_SCHEMA`) with one entry per
+objective::
+
+    {
+      "schema": "repro-obs-slo/1",
+      "slos": [
+        {
+          "name": "steal-tail",
+          "objective": "steal_latency:p99",
+          "threshold": 0.005,
+          "direction": "lower",
+          "target": 0.99,
+          "alerts": [
+            {"long": 12, "short": 3, "factor": 2.0}
+          ]
+        }
+      ]
+    }
+
+Each telemetry frame (one virtual-time window of the
+``repro-obs-live/1`` feed — see :mod:`repro.obs.live`) is scored good
+or bad: the frame's value of ``objective`` (a histogram name plus one
+of ``p50``/``p95``/``p99``/``mean``/``count``, or the pseudo-metrics
+``ev_s`` and ``counter:<name>``) is compared against ``threshold`` in
+``direction``.  Frames in which the objective's metric recorded nothing
+are skipped — an SLO over steal latency says nothing about windows with
+no steals.
+
+Compliance and burn follow the standard SRE error-budget algebra:
+``target`` is the demanded good-frame fraction (0.99 → a 1% budget),
+and the *burn rate* over a lookback of N frames is the observed
+bad-frame fraction divided by the budget — burn 1.0 spends the budget
+exactly at the end of the compliance horizon, burn 2.0 twice as fast.
+An alert fires only when **both** its lookbacks exceed ``factor``
+(long window for significance, short window to confirm the burn is
+still happening), the classic multi-window rule that suppresses both
+one-frame blips and stale pages.
+
+``python -m repro.obs slo FEED --spec SPEC`` renders the verdict;
+``--fail-on-burn`` exits nonzero when any alert fires (or any
+objective's overall compliance misses its target), which is the CI
+acceptance gate the ROADMAP's open-loop serving scenario plugs into.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SLO_SCHEMA",
+    "SloSpec",
+    "AlertRule",
+    "SloResult",
+    "load_spec",
+    "evaluate",
+    "render_report",
+]
+
+#: Schema tag expected at the top of an SLO spec document.
+SLO_SCHEMA = "repro-obs-slo/1"
+
+_QUANTITIES = ("p50", "p95", "p99", "mean", "count")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One multi-window burn-rate rule: fire when both windows burn."""
+
+    long: int  #: lookback length in frames (significance window)
+    short: int  #: confirmation lookback in frames
+    factor: float  #: burn-rate threshold both lookbacks must exceed
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over a telemetry feed."""
+
+    name: str
+    objective: str  #: "<histogram>:<p50|p95|p99|mean|count>", "ev_s", or "counter:<key>"
+    threshold: float
+    target: float  #: demanded good-frame fraction, e.g. 0.99
+    direction: str = "lower"  #: "lower" (value must stay below) or "higher"
+    alerts: tuple[AlertRule, ...] = ()
+
+
+@dataclass
+class SloResult:
+    """Verdict for one SLO over one feed."""
+
+    spec: SloSpec
+    frames_scored: int
+    frames_bad: int
+    compliance: float | None  #: good fraction, None when nothing scored
+    burn_rates: list[tuple[AlertRule, float, float]] = field(default_factory=list)
+    fired: list[AlertRule] = field(default_factory=list)
+
+    @property
+    def met(self) -> bool:
+        """True when compliance meets target (vacuously for no data)."""
+        return self.compliance is None or self.compliance >= self.spec.target
+
+    @property
+    def burning(self) -> bool:
+        return bool(self.fired)
+
+
+def load_spec(path: str | Path) -> list[SloSpec]:
+    """Parse and validate an SLO spec document."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SLO_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported SLO spec schema {doc.get('schema')!r}; "
+            f"expected {SLO_SCHEMA}"
+        )
+    specs: list[SloSpec] = []
+    for i, raw in enumerate(doc.get("slos", ())):
+        where = f"{path}: slos[{i}]"
+        for key in ("name", "objective", "threshold", "target"):
+            if key not in raw:
+                raise ValueError(f"{where}: missing {key!r}")
+        direction = raw.get("direction", "lower")
+        if direction not in ("lower", "higher"):
+            raise ValueError(f"{where}: direction must be 'lower' or 'higher'")
+        if not 0.0 < raw["target"] <= 1.0:
+            raise ValueError(f"{where}: target must be in (0, 1]")
+        objective = raw["objective"]
+        if (
+            objective != "ev_s"
+            and not objective.startswith("counter:")
+            and (":" not in objective or objective.rsplit(":", 1)[1] not in _QUANTITIES)
+        ):
+            raise ValueError(
+                f"{where}: objective must be 'ev_s', 'counter:<key>', or "
+                f"'<histogram>:<{'|'.join(_QUANTITIES)}>', got {objective!r}"
+            )
+        alerts = []
+        for j, a in enumerate(raw.get("alerts", ())):
+            for key in ("long", "short", "factor"):
+                if key not in a:
+                    raise ValueError(f"{where}: alerts[{j}]: missing {key!r}")
+            if a["short"] > a["long"]:
+                raise ValueError(
+                    f"{where}: alerts[{j}]: short lookback exceeds long"
+                )
+            alerts.append(AlertRule(int(a["long"]), int(a["short"]), float(a["factor"])))
+        specs.append(
+            SloSpec(
+                name=raw["name"],
+                objective=objective,
+                threshold=float(raw["threshold"]),
+                target=float(raw["target"]),
+                direction=direction,
+                alerts=tuple(alerts),
+            )
+        )
+    if not specs:
+        raise ValueError(f"{path}: spec contains no SLOs")
+    return specs
+
+
+def _frame_value(frame: dict, objective: str) -> float | None:
+    """The objective's value in one frame, or None when unscorable."""
+    if objective == "ev_s":
+        return frame.get("ev_s")
+    if objective.startswith("counter:"):
+        return (frame.get("counters") or {}).get(objective[len("counter:"):])
+    name, quantity = objective.rsplit(":", 1)
+    hist = (frame.get("histograms") or {}).get(name)
+    if hist is None:
+        return None
+    return hist.get(quantity)
+
+
+def evaluate(
+    frames: list[dict], specs: list[SloSpec], label: str | None = None
+) -> list[SloResult]:
+    """Score every spec over the feed's frames (optionally one label)."""
+    if label is not None:
+        frames = [f for f in frames if f.get("label") == label]
+    results: list[SloResult] = []
+    for spec in specs:
+        # Per-frame verdicts, in feed order: True = bad window.
+        bad: list[bool] = []
+        for frame in frames:
+            value = _frame_value(frame, spec.objective)
+            if value is None:
+                continue
+            if spec.direction == "lower":
+                bad.append(value > spec.threshold)
+            else:
+                bad.append(value < spec.threshold)
+        scored = len(bad)
+        nbad = sum(bad)
+        budget = 1.0 - spec.target
+        result = SloResult(
+            spec=spec,
+            frames_scored=scored,
+            frames_bad=nbad,
+            compliance=(1.0 - nbad / scored) if scored else None,
+        )
+        for rule in spec.alerts:
+            if scored == 0:
+                result.burn_rates.append((rule, 0.0, 0.0))
+                continue
+            long_tail = bad[-rule.long:]
+            short_tail = bad[-rule.short:]
+            long_rate = sum(long_tail) / len(long_tail)
+            short_rate = sum(short_tail) / len(short_tail)
+            if budget > 0:
+                long_burn = long_rate / budget
+                short_burn = short_rate / budget
+            else:
+                # target == 1.0: any bad frame is an infinite burn.
+                long_burn = float("inf") if long_rate else 0.0
+                short_burn = float("inf") if short_rate else 0.0
+            result.burn_rates.append((rule, long_burn, short_burn))
+            if long_burn > rule.factor and short_burn > rule.factor:
+                result.fired.append(rule)
+        results.append(result)
+    return results
+
+
+def render_report(results: list[SloResult]) -> str:
+    """Human-readable verdict table for ``repro.obs slo``."""
+    lines: list[str] = []
+    for r in results:
+        spec = r.spec
+        sign = "<=" if spec.direction == "lower" else ">="
+        status = "OK"
+        if r.burning:
+            status = "BURNING"
+        elif not r.met:
+            status = "VIOLATED"
+        elif r.compliance is None:
+            status = "NO DATA"
+        lines.append(
+            f"{spec.name}: {status}  ({spec.objective} {sign} {spec.threshold:g}, "
+            f"target {spec.target:.4g})"
+        )
+        if r.compliance is None:
+            lines.append("  no scorable frames")
+            continue
+        lines.append(
+            f"  compliance {r.compliance:.4f} over {r.frames_scored} frames "
+            f"({r.frames_bad} bad); error budget "
+            f"{(1.0 - spec.target):.4g}"
+        )
+        for rule, long_burn, short_burn in r.burn_rates:
+            fired = rule in r.fired
+            lines.append(
+                f"  burn[{rule.long}w/{rule.short}w @ {rule.factor:g}x]: "
+                f"long {long_burn:.3g}x, short {short_burn:.3g}x"
+                + ("  << FIRING" if fired else "")
+            )
+    return "\n".join(lines)

@@ -32,6 +32,12 @@ edges are order-preserving streams, so their shards concatenate.
 aggregation: each worker's spill directory becomes its own Perfetto
 *process* (``pid`` = worker id) in one merged trace, with flow-arrow
 ids offset so cross-rank arrows never collide between workers.
+
+Spill directories hold the *span* stream; the companion *metrics*
+stream — interval telemetry frames — is the live feed of
+:mod:`repro.obs.live`, whose :func:`~repro.obs.live.merge_feeds` plays
+the same fleet-aggregation role for frames that :func:`merge_spills`
+plays for spans.
 """
 
 from __future__ import annotations

@@ -377,6 +377,8 @@ class Proc:
                 return self._switch
             # Heap empty or earliest live event strictly later — an
             # elided event: counted, limit-checked, but never switched.
+            if engine._tick is not None:
+                engine._tick(clock)
             engine.events += 1
             if engine._limits:
                 engine._check_limits(clock)
@@ -517,6 +519,11 @@ class Engine:
         # Called with the failure just before run() re-raises it —
         # observers (e.g. the obs flight recorder) dump state here.
         self.failure_hooks: list[Callable[[BaseException], None]] = []
+        # Per-event telemetry tick: called with the event's virtual time
+        # from both accounting sites (_pick and the co_sync elision
+        # path).  None when no live telemetry bus is attached, so an
+        # unobserved run pays one attribute read per event.
+        self._tick: Callable[[float], None] | None = None
         self._mains: list[tuple[Callable[..., Any], tuple[Any, ...]] | None] = [None] * nprocs
 
     # ------------------------------------------------------------------ #
@@ -684,6 +691,8 @@ class Engine:
                     if proc.blocked_at is not None:
                         proc.blocked_at = None
                         self._parked -= 1
+                    if self._tick is not None:
+                        self._tick(time)
                     self.events += 1
                     if self._limits:
                         self._check_limits(time)

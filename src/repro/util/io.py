@@ -20,7 +20,7 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "append_text_line"]
 
 
 def atomic_write_text(path: str | Path, text: str) -> Path:
@@ -46,4 +46,28 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
         except OSError:
             pass
         raise
+    return path
+
+
+def append_text_line(path: str | Path, line: str) -> Path:
+    """Append ``line`` (newline added if missing) to ``path``; atomic-ish.
+
+    For append-only JSONL feeds (the live telemetry bus) the atomicity
+    requirement differs from :func:`atomic_write_text`: the file must
+    *grow*, so rename-replace is the wrong tool.  Instead the record is
+    written with a single ``os.write`` on an ``O_APPEND`` descriptor —
+    POSIX guarantees the seek-to-end and the write are one atomic step,
+    so concurrent tailers (``repro.obs top --follow``) never observe a
+    record interleaved with another writer's, and a crash leaves at most
+    one truncated final line, which readers skip.
+    """
+    if not line.endswith("\n"):
+        line += "\n"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
     return path

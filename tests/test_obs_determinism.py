@@ -41,7 +41,7 @@ def test_verify_cli_passes_on_check_scenarios(capsys):
     assert main(["verify", "queue", "steals"]) == 0
     out = capsys.readouterr().out
     # one line per target/backend combination, plus the summary
-    assert "span stream unchanged by recording, causal edges, and streaming" in out
+    assert "span stream unchanged by recording, causal edges, streaming, and live telemetry" in out
     assert "0 dropped" in out
     assert "target/backend combinations deterministic" in out
     assert "DIVERGED" not in out

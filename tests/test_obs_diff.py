@@ -133,6 +133,50 @@ class TestMetricsDiff:
         assert report.ok
 
 
+class TestWindowsDiff:
+    def _doc(self):
+        return metrics_dict(run_target("steals", window=50e-6).recorder)
+
+    def test_windowed_roundtrip_is_clean(self):
+        doc = self._doc()
+        assert doc["windows"]["series"]  # windows actually present
+        report = diff_documents(doc, copy.deepcopy(doc))
+        assert report.ok and not report.changes
+
+    def test_worst_window_latency_spike_regresses(self):
+        old = self._doc()
+        new = copy.deepcopy(old)
+        for w in new["windows"]["series"]:
+            h = w["histograms"].get("steal_fail_latency")
+            if h:
+                h["p99"] *= 3.0
+        report = diff_documents(old, new)
+        (regress,) = [e for e in report.regressions
+                      if e.key == "windows/steal_fail_latency"]
+        assert regress.metric == "worst p99"
+
+    def test_count_style_window_metrics_warn_without_regressing(self):
+        old = self._doc()
+        new = copy.deepcopy(old)
+        for w in new["windows"]["series"]:
+            h = w["histograms"].get("steal_chunk")
+            if h:
+                h["p99"] *= 3.0
+        report = diff_documents(old, new)
+        assert report.ok  # chunk sizes are direction-neutral
+        assert any(e.key == "windows/steal_chunk" for e in report.changes)
+
+    def test_interval_change_is_a_mismatch(self):
+        old = self._doc()
+        new = copy.deepcopy(old)
+        new["windows"]["interval"] *= 2
+        report = diff_documents(old, new)
+        assert any(
+            e.key == "windows" and e.status == "mismatch"
+            for e in report.regressions
+        )
+
+
 class TestSchemaHandling:
     def test_unknown_schema_rejected(self):
         with pytest.raises(ValueError, match="unsupported schema"):

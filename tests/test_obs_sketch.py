@@ -1,0 +1,200 @@
+"""QuantileSketch error bound, merge algebra, and RollingWindows edges.
+
+The sketch's contract is the tentpole of the live-telemetry work: every
+quantile estimate is within relative error ``alpha`` of a true sample
+value, merges are exact (fleet aggregation), and deltas are exact
+(rolling windows).  The property test drives the bound with hypothesis;
+the fleet test checks that sketches merged from serialized worker
+registries answer percentile queries identically to one single-process
+registry over the same observations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, QuantileSketch, RollingWindows
+
+
+def exact_quantile(values, q):
+    """The rank rule the sketch uses: first value reaching q * count."""
+    ordered = sorted(values)
+    target = q * len(ordered)
+    seen = 0
+    for v in ordered:
+        seen += 1
+        if seen >= target:
+            return v
+    return ordered[-1]
+
+
+class TestErrorBound:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-9, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_within_relative_error(self, values, q):
+        sk = QuantileSketch(alpha=0.01)
+        for v in values:
+            sk.observe(v)
+        est = sk.quantile(q)
+        exact = exact_quantile(values, q)
+        # Boundary values may round into the adjacent bucket; the
+        # midpoint estimate still lands within alpha of the true value.
+        assert abs(est - exact) <= sk.alpha * exact * (1 + 1e-9) + 1e-15
+
+    def test_zero_and_negative_values_use_zero_bucket(self):
+        sk = QuantileSketch()
+        for v in (0.0, -1.0, 1e-13):
+            sk.observe(v)
+        assert sk.zero == 3 and sk.count == 3 and not sk.buckets
+        assert sk.quantile(0.5) == 0.0
+
+    def test_empty_sketch_quantile_is_zero(self):
+        assert QuantileSketch().quantile(0.99) == 0.0
+
+    def test_bad_alpha_and_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(1.5)
+
+
+class TestMergeAndDelta:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=1e-9, max_value=1e3), min_size=1, max_size=50),
+        st.lists(st.floats(min_value=1e-9, max_value=1e3), min_size=1, max_size=50),
+    )
+    def test_merge_equals_combined_stream(self, a, b):
+        left, right, both = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        for v in a:
+            left.observe(v)
+            both.observe(v)
+        for v in b:
+            right.observe(v)
+            both.observe(v)
+        left.merge(right)
+        assert left.buckets == both.buckets
+        assert left.zero == both.zero and left.count == both.count
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == both.quantile(q)
+
+    def test_delta_isolates_observations_since_snapshot(self):
+        sk = QuantileSketch()
+        for v in (1.0, 2.0, 3.0):
+            sk.observe(v)
+        snap = sk.snapshot()
+        for v in (10.0, 20.0):
+            sk.observe(v)
+        d = sk.delta(snap)
+        fresh = QuantileSketch()
+        for v in (10.0, 20.0):
+            fresh.observe(v)
+        assert d.buckets == fresh.buckets and d.count == 2
+        assert d.quantile(0.5) == fresh.quantile(0.5)
+
+    def test_alpha_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.01).merge_dict({"alpha": 0.05})
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_quantiles(self):
+        sk = QuantileSketch()
+        for v in (0.0, 1e-6, 3e-6, 5e-4, 0.1):
+            sk.observe(v)
+        doc = json.loads(json.dumps(sk.to_dict()))  # through real JSON
+        back = QuantileSketch.from_dict(doc)
+        assert back.count == sk.count and back.zero == sk.zero
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert back.quantile(q) == sk.quantile(q)
+
+    def test_fleet_merged_registries_equal_single_process(self):
+        # Two "worker" registries over disjoint halves of one stream,
+        # serialized and folded into a parent registry, must answer
+        # percentile queries exactly like one registry that saw it all.
+        values = [1e-6 * (i + 1) for i in range(40)]
+        single = MetricsRegistry()
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        for i, v in enumerate(values):
+            single.observe("steal_latency", v, rank=0)
+            workers[i % 2].observe("steal_latency", v, rank=0)
+        parent = MetricsRegistry()
+        for w, reg in enumerate(workers):
+            parent.merge_dict(json.loads(json.dumps(reg.to_dict())), into_rank=w)
+        merged = parent.histograms["steal_latency"].sketch
+        base = single.histograms["steal_latency"].sketch
+        assert merged.buckets == base.buckets and merged.count == base.count
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == base.quantile(q)
+
+
+class TestRollingWindowsEdges:
+    def test_empty_final_window_not_emitted(self):
+        reg = MetricsRegistry()
+        win = RollingWindows(reg, interval=1.0)
+        win.roll(0.5)
+        reg.observe("lock_wait", 1e-6)
+        # Time passes through several empty intervals after the burst.
+        win.roll(5.5)
+        win.finalize(9.0)
+        assert len(win.windows) == 1
+        assert win.windows[0]["t0"] == 0.0 and win.windows[0]["t1"] == 1.0
+
+    def test_observation_on_interval_boundary_lands_in_next_window(self):
+        reg = MetricsRegistry()
+        win = RollingWindows(reg, interval=1.0)
+        win.roll(0.2)
+        reg.observe("lock_wait", 1e-6)
+        # roll(t) is called before recording an observation at time t:
+        # the boundary observation belongs to [1, 2), not [0, 1).
+        win.roll(1.0)
+        reg.observe("lock_wait", 2e-6)
+        win.finalize(2.0)
+        counts = [w["histograms"]["lock_wait"]["count"] for w in win.windows]
+        assert counts == [1, 1]
+        assert [w["t0"] for w in win.windows] == [0.0, 1.0]
+
+    def test_zero_duration_run_with_observations(self):
+        reg = MetricsRegistry()
+        win = RollingWindows(reg, interval=1.0)
+        reg.observe("lock_wait", 1e-6)
+        win.finalize(0.0)
+        assert len(win.windows) == 1
+        w = win.windows[0]
+        assert w["t0"] == 0.0 and w["t1"] == 0.0
+        assert w["histograms"]["lock_wait"]["count"] == 1
+
+    def test_zero_duration_run_without_observations(self):
+        reg = MetricsRegistry()
+        win = RollingWindows(reg, interval=1.0)
+        win.finalize(0.0)
+        assert win.windows == []
+        assert win.to_dict() == {"interval": 1.0, "series": []}
+
+    def test_window_percentiles_use_sketch_resolution(self):
+        # All observations inside one bucket-edge span: edge-resolution
+        # percentiles would collapse to the same edge; the sketch keeps
+        # them within 1% of the true values.
+        reg = MetricsRegistry()
+        win = RollingWindows(reg, interval=1.0)
+        values = [100e-9, 101e-9, 140e-9]
+        for v in values:
+            reg.observe("lock_wait", v)
+        win.finalize(1.0)
+        h = win.windows[0]["histograms"]["lock_wait"]
+        assert abs(h["p50"] - 101e-9) <= 0.01 * 101e-9 * 1.001
+        assert abs(h["p99"] - 140e-9) <= 0.01 * 140e-9 * 1.001
+        assert h["p50"] <= h["p95"] <= h["p99"]

@@ -1,0 +1,191 @@
+"""SLO engine: spec validation, burn-rate algebra, and the CI gate CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    AlertRule,
+    SloSpec,
+    evaluate,
+    load_spec,
+    render_report,
+)
+
+
+def write_spec(tmp_path, slos, name="spec.json"):
+    p = tmp_path / name
+    p.write_text(json.dumps({"schema": SLO_SCHEMA, "slos": slos}))
+    return p
+
+
+def frame(value, metric="steal_latency", quantity="p99", label="run"):
+    return {
+        "kind": "frame", "label": label, "ev_s": 1000.0,
+        "counters": {"steals": 4.0},
+        "histograms": {metric: {quantity: value, "count": 1}},
+    }
+
+
+VALID = {
+    "name": "tail",
+    "objective": "steal_latency:p99",
+    "threshold": 1e-3,
+    "target": 0.9,
+    "alerts": [{"long": 4, "short": 2, "factor": 2.0}],
+}
+
+
+class TestLoadSpec:
+    def test_valid_spec_loads(self, tmp_path):
+        (spec,) = load_spec(write_spec(tmp_path, [VALID]))
+        assert spec.name == "tail" and spec.direction == "lower"
+        assert spec.alerts == (AlertRule(4, 2, 2.0),)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "nope/1", "slos": [VALID]}))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_spec(p)
+
+    @pytest.mark.parametrize("key", ["name", "objective", "threshold", "target"])
+    def test_missing_required_key_rejected(self, tmp_path, key):
+        raw = {k: v for k, v in VALID.items() if k != key}
+        with pytest.raises(ValueError, match=f"missing '{key}'"):
+            load_spec(write_spec(tmp_path, [raw]))
+
+    @pytest.mark.parametrize(
+        "patch,match",
+        [
+            ({"direction": "sideways"}, "direction"),
+            ({"target": 0.0}, "target"),
+            ({"target": 1.5}, "target"),
+            ({"objective": "steal_latency"}, "objective"),
+            ({"objective": "steal_latency:p42"}, "objective"),
+            ({"alerts": [{"long": 2, "short": 4, "factor": 1.0}]}, "short lookback"),
+            ({"alerts": [{"long": 2, "factor": 1.0}]}, "missing 'short'"),
+        ],
+    )
+    def test_invalid_fields_rejected(self, tmp_path, patch, match):
+        with pytest.raises(ValueError, match=match):
+            load_spec(write_spec(tmp_path, [{**VALID, **patch}]))
+
+    def test_empty_spec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no SLOs"):
+            load_spec(write_spec(tmp_path, []))
+
+    @pytest.mark.parametrize("objective", ["ev_s", "counter:steals", "h:mean"])
+    def test_pseudo_objectives_accepted(self, tmp_path, objective):
+        (spec,) = load_spec(write_spec(tmp_path, [{**VALID, "objective": objective}]))
+        assert spec.objective == objective
+
+
+class TestEvaluate:
+    def test_compliance_counts_bad_frames(self):
+        spec = SloSpec("s", "steal_latency:p99", threshold=1e-3, target=0.5)
+        frames = [frame(1e-4), frame(2e-3), frame(5e-4), frame(9e-4)]
+        (res,) = evaluate(frames, [spec])
+        assert res.frames_scored == 4 and res.frames_bad == 1
+        assert res.compliance == pytest.approx(0.75)
+        assert res.met and not res.burning
+
+    def test_frames_without_the_metric_are_skipped(self):
+        spec = SloSpec("s", "wave_rtt:p95", threshold=1.0, target=0.9)
+        (res,) = evaluate([frame(1e-4), frame(1e-4)], [spec])
+        assert res.frames_scored == 0 and res.compliance is None
+        assert res.met  # vacuously
+
+    def test_higher_direction_flips_the_comparison(self):
+        spec = SloSpec("s", "ev_s", threshold=500.0, target=0.9,
+                       direction="higher")
+        (res,) = evaluate([frame(0.0)], [spec])  # ev_s = 1000 >= 500: good
+        assert res.frames_bad == 0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        rule = AlertRule(long=4, short=2, factor=2.0)
+        spec = SloSpec("s", "steal_latency:p99", threshold=1e-3, target=0.9,
+                       alerts=(rule,))
+        # Last 4 frames: 2 bad; last 2 frames: 1 bad.  Budget = 0.1.
+        frames = [frame(0.0), frame(2e-3), frame(0.0), frame(2e-3)]
+        (res,) = evaluate(frames, [spec])
+        ((_, long_burn, short_burn),) = res.burn_rates
+        assert long_burn == pytest.approx(0.5 / 0.1)
+        assert short_burn == pytest.approx(0.5 / 0.1)
+        assert res.fired == [rule]
+
+    def test_alert_needs_both_windows_burning(self):
+        rule = AlertRule(long=4, short=2, factor=2.0)
+        spec = SloSpec("s", "steal_latency:p99", threshold=1e-3, target=0.9,
+                       alerts=(rule,))
+        # Bad frames happened, but not recently: the short window is
+        # clean, so the (stale) alert must not fire.
+        frames = [frame(2e-3), frame(2e-3), frame(0.0), frame(0.0)]
+        (res,) = evaluate(frames, [spec])
+        assert res.fired == [] and not res.burning
+
+    def test_target_one_means_any_bad_frame_burns(self):
+        rule = AlertRule(long=2, short=1, factor=10.0)
+        spec = SloSpec("s", "steal_latency:p99", threshold=1e-3, target=1.0,
+                       alerts=(rule,))
+        (res,) = evaluate([frame(2e-3), frame(2e-3)], [spec])
+        ((_, long_burn, short_burn),) = res.burn_rates
+        assert long_burn == float("inf") and short_burn == float("inf")
+        assert res.burning and not res.met
+
+    def test_label_filter(self):
+        spec = SloSpec("s", "steal_latency:p99", threshold=1e-3, target=0.5)
+        frames = [frame(2e-3, label="a"), frame(0.0, label="b")]
+        (res,) = evaluate(frames, [spec], label="b")
+        assert res.frames_scored == 1 and res.frames_bad == 0
+
+    def test_render_report_states_verdicts(self):
+        rule = AlertRule(2, 1, 0.5)
+        specs = [
+            SloSpec("good", "steal_latency:p99", threshold=1.0, target=0.9),
+            SloSpec("bad", "steal_latency:p99", threshold=1e-9, target=1.0,
+                    alerts=(rule,)),
+        ]
+        text = render_report(evaluate([frame(1e-4)], specs))
+        assert "good: OK" in text
+        assert "bad: BURNING" in text
+        assert "FIRING" in text
+
+
+class TestCli:
+    @pytest.fixture()
+    def feed(self, tmp_path):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "feed.jsonl"
+        assert main(["run", "steals", "--live", str(path),
+                     "--live-interval", "0.00005"]) == 0
+        return path
+
+    def test_passing_spec_exits_zero(self, tmp_path, feed, capsys):
+        from repro.obs.__main__ import main
+
+        spec = write_spec(tmp_path, [{
+            "name": "lenient", "objective": "steal_fail_latency:p99",
+            "threshold": 1.0, "target": 0.5,
+            "alerts": [{"long": 4, "short": 2, "factor": 14.0}],
+        }])
+        assert main(["slo", str(feed), "--spec", str(spec),
+                     "--fail-on-burn"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_burning_spec_exits_nonzero_only_with_flag(self, tmp_path, feed, capsys):
+        from repro.obs.__main__ import main
+
+        spec = write_spec(tmp_path, [{
+            "name": "strict", "objective": "steal_fail_latency:p99",
+            "threshold": 1e-12, "target": 1.0,
+            "alerts": [{"long": 1, "short": 1, "factor": 0.5}],
+        }])
+        assert main(["slo", str(feed), "--spec", str(spec)]) == 0
+        assert main(["slo", str(feed), "--spec", str(spec),
+                     "--fail-on-burn"]) == 1
+        err = capsys.readouterr().err
+        assert "SLO FAILURE" in err
